@@ -1,0 +1,66 @@
+// Command astraea-infer runs the shared batched inference service of §4 as
+// a standalone daemon: senders submit state vectors over a UDP or UNIX
+// datagram socket and receive actions, with requests accumulated into
+// batches (5 ms window by default) before the policy evaluates them.
+//
+// Examples:
+//
+//	astraea-infer -listen udp:127.0.0.1:9000 -policy reference
+//	astraea-infer -listen unixgram:/tmp/astraea.sock -policy actor.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "udp:127.0.0.1:9000", "network:address to serve on (udp:host:port or unixgram:/path)")
+	policyArg := flag.String("policy", "reference", `"reference" or a path to JSON actor weights`)
+	window := flag.Duration("window", 5*time.Millisecond, "batching window")
+	maxBatch := flag.Int("max-batch", 256, "flush threshold")
+	flag.Parse()
+
+	network, address, ok := strings.Cut(*listen, ":")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "astraea-infer: bad -listen %q\n", *listen)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	var policy core.Policy
+	if *policyArg == "reference" {
+		policy = core.NewReferencePolicy(cfg)
+	} else {
+		p, err := core.LoadPolicy(*policyArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-infer:", err)
+			os.Exit(1)
+		}
+		policy = p
+	}
+
+	svc := core.NewService(cfg, policy)
+	svc.BatchWindow = *window
+	svc.MaxBatch = *maxBatch
+	srv, err := core.ListenAndServe(svc, network, address)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-infer:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("astraea-infer: serving on %s (%s), batch window %v, max batch %d\n",
+		srv.Addr(), network, *window, *maxBatch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("astraea-infer: shutting down after %d requests in %d batches\n",
+		svc.Requests, svc.Batches)
+	srv.Close()
+}

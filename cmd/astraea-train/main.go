@@ -1,0 +1,68 @@
+// Command astraea-train runs the offline multi-agent training pipeline
+// (§3.4) and writes the learned actor as JSON weights loadable by
+// core.LoadPolicy. It also supports supervised distillation of the
+// reference policy, which is how the repository's default deployable neural
+// model is produced quickly.
+//
+// Examples:
+//
+//	astraea-train -mode rl -episodes 50 -out actor.json
+//	astraea-train -mode distill -out distilled.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/env"
+)
+
+func main() {
+	mode := flag.String("mode", "distill", "rl (multi-agent TD3) or distill (supervised imitation)")
+	episodes := flag.Int("episodes", 20, "training episodes (rl mode)")
+	workers := flag.Int("workers", 4, "parallel environment instances (rl mode; paper uses 4)")
+	samples := flag.Int("samples", 20000, "training samples (distill mode)")
+	epochs := flag.Int("epochs", 30, "epochs (distill mode)")
+	out := flag.String("out", "actor.json", "output weight file")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *mode {
+	case "rl":
+		learner := env.NewParallelLearner(cfg, env.DefaultTrainingDistribution(), *seed, *workers)
+		done := 0
+		for done < *episodes {
+			batch := *workers
+			if done+batch > *episodes {
+				batch = *episodes - done
+			}
+			learner.Train(batch)
+			done += batch
+			last := learner.RewardHistory[len(learner.RewardHistory)-1]
+			fmt.Printf("episodes %3d/%d: reward=%+.5f criticLoss=%.5f replay=%d\n",
+				done, *episodes, last, learner.Trainer.LastCriticLoss, learner.Replay.Len())
+		}
+		if err := core.SavePolicy(*out, learner.Trainer.Actor); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-train:", err)
+			os.Exit(1)
+		}
+	case "distill":
+		opts := core.DefaultDistillOptions()
+		opts.Samples = *samples
+		opts.Epochs = *epochs
+		opts.Seed = *seed
+		net, loss := core.DistillPolicy(cfg, opts)
+		fmt.Printf("distilled reference policy: imitation MSE = %.6f\n", loss)
+		if err := core.SavePolicy(*out, net); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-train:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "astraea-train: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

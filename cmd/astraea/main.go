@@ -1,0 +1,107 @@
+// Command astraea runs congestion-control scenarios on the emulation
+// substrate and prints per-flow results: any registered scheme, any
+// bottleneck shape, optional flow staggering.
+//
+// Examples:
+//
+//	astraea -scheme astraea -bw 100 -rtt 30 -flows 3 -interval 40 -dur 200
+//	astraea -scheme cubic -bw 42 -rtt 800 -loss 0.0074 -dur 100
+//	astraea -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/flowtrace"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/transport"
+)
+
+func main() {
+	scheme := flag.String("scheme", "astraea", "congestion control scheme")
+	list := flag.Bool("list", false, "list registered schemes and exit")
+	bw := flag.Float64("bw", 100, "bottleneck bandwidth in Mbps")
+	rtt := flag.Float64("rtt", 30, "base RTT in ms")
+	bufBDP := flag.Float64("buf", 1, "buffer size in BDP multiples")
+	loss := flag.Float64("loss", 0, "random loss probability")
+	flows := flag.Int("flows", 1, "number of flows")
+	interval := flag.Float64("interval", 0, "flow start stagger in seconds")
+	dur := flag.Float64("dur", 30, "run duration in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	series := flag.Bool("series", false, "print per-flow throughput timeseries")
+	traceOut := flag.String("trace", "", "write a per-flow control-event CSV (cwnd changes, losses) to this file")
+	flag.Parse()
+
+	if *list {
+		for _, n := range cc.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sc := runner.Scenario{
+		Seed:     *seed,
+		RateBps:  *bw * 1e6,
+		BaseRTT:  *rtt / 1000,
+		QueueBDP: *bufBDP,
+		LossProb: *loss,
+		Duration: *dur,
+	}
+	var tracer *flowtrace.Tracer
+	if *traceOut != "" {
+		tracer = &flowtrace.Tracer{Cap: 1 << 20}
+		sc.OnFlowCreated = func(i int, f *transport.Flow) { flowtrace.Attach(tracer, f) }
+	}
+	for i := 0; i < *flows; i++ {
+		sc.Flows = append(sc.Flows, runner.FlowSpec{
+			Scheme: *scheme,
+			Start:  float64(i) * *interval,
+		})
+	}
+	res, err := runner.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme=%s bw=%.0fMbps rtt=%.0fms buf=%.1fBDP dur=%.0fs utilization=%.3f\n",
+		*scheme, *bw, *rtt, *bufBDP, *dur, res.Utilization)
+	for i, fr := range res.Flows {
+		fmt.Printf("flow %d: avg=%.1f Mbps rtt(avg/min)=%.1f/%.1f ms loss=%.4f\n",
+			i, fr.AvgTputBps/1e6, fr.AvgRTT*1000, fr.MinRTT*1000, fr.LossRate)
+	}
+	if *flows > 1 {
+		var avgs []float64
+		for _, fr := range res.Flows {
+			avgs = append(avgs, fr.AvgTputBps)
+		}
+		fmt.Printf("jain index: %.4f\n", metrics.Jain(avgs))
+	}
+	if *series {
+		fmt.Println("time_s flow_mbps...")
+		for i := 0; i < len(res.Flows[0].Tput.Values); i += 10 {
+			fmt.Printf("%6.1f", float64(i)*res.Flows[0].Tput.Interval)
+			for _, fr := range res.Flows {
+				fmt.Printf(" %7.2f", fr.Tput.Values[i]/1e6)
+			}
+			fmt.Println()
+		}
+	}
+	if tracer != nil {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea:", err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := tracer.WriteCSV(out); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+}

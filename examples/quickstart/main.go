@@ -1,0 +1,35 @@
+// Quickstart: run one Astraea flow over an emulated 100 Mbps / 30 ms
+// bottleneck for 20 seconds and print what it achieved.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/runner"
+)
+
+func main() {
+	res, err := runner.Run(runner.Scenario{
+		Seed:     1,
+		RateBps:  100e6, // 100 Mbps bottleneck
+		BaseRTT:  0.030, // 30 ms
+		QueueBDP: 1,     // 1 bandwidth-delay product of buffer
+		Duration: 20,
+		Flows:    []runner.FlowSpec{{Scheme: "astraea"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := res.Flows[0]
+	fmt.Printf("Astraea on 100 Mbps / 30 ms for 20 s:\n")
+	fmt.Printf("  link utilization: %.1f%%\n", res.Utilization*100)
+	fmt.Printf("  average RTT:      %.1f ms (base 30.0)\n", fr.AvgRTT*1000)
+	fmt.Printf("  loss rate:        %.3f%%\n", fr.LossRate*100)
+	fmt.Println("\nThroughput over time:")
+	for i := 0; i < len(fr.Tput.Values); i += 20 {
+		fmt.Printf("  t=%4.1fs  %6.1f Mbps\n", float64(i)*fr.Tput.Interval, fr.Tput.Values[i]/1e6)
+	}
+}

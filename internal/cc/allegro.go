@@ -1,0 +1,126 @@
+package cc
+
+import (
+	"math"
+
+	"repro/internal/transport"
+)
+
+func init() { Register("allegro", func() transport.CongestionControl { return NewAllegro() }) }
+
+// Allegro implements PCC-Allegro (Dong et al., NSDI'15), Vivace's
+// predecessor: the same monitor-interval probing structure, but with the
+// loss-only utility u = T*sigmoid(1 - L/0.05-ish) ... concretely the
+// published utility u_i = x_i * (1 - 1/(1+e^{-100(L-0.05)})) * (1-L) - x_i*L,
+// which tolerates up to ~5% loss before collapsing, and a coarser
+// rate-doubling startup. Allegro ignores latency entirely, so it fills
+// buffers like a loss-based scheme while resisting random loss.
+type Allegro struct {
+	rateBps float64
+	eps     float64
+
+	// probe bookkeeping identical in structure to Vivace's.
+	curDir       int
+	curRateMbps  float64
+	prevDir      int
+	prevRateMbps float64
+	uUp, uDown   float64
+	haveUp       bool
+	haveDown     bool
+
+	startup  bool
+	lastSRTT float64
+}
+
+// NewAllegro returns an Allegro instance.
+func NewAllegro() *Allegro {
+	return &Allegro{rateBps: 2e6, eps: 0.05, startup: true}
+}
+
+// Name implements transport.CongestionControl.
+func (a *Allegro) Name() string { return "allegro" }
+
+// Init implements transport.CongestionControl.
+func (a *Allegro) Init(f *transport.Flow) {
+	a.curDir = 1
+	a.curRateMbps = a.rateBps * (1 + a.eps) / 1e6
+	f.SetPacingBps(a.rateBps * (1 + a.eps))
+	f.SetCwnd(1e9)
+	f.ScheduleMTP(0.05)
+}
+
+// OnAck implements transport.CongestionControl.
+func (a *Allegro) OnAck(f *transport.Flow, e transport.AckEvent) { a.lastSRTT = e.SRTT }
+
+// OnLoss implements transport.CongestionControl.
+func (a *Allegro) OnLoss(f *transport.Flow, e transport.LossEvent) {}
+
+// utility is Allegro's loss-only objective: throughput discounted by a
+// sigmoid that collapses once loss exceeds ~5%.
+func (a *Allegro) utility(xMbps, loss float64) float64 {
+	sig := 1 / (1 + math.Exp(-100*(loss-0.05)))
+	return xMbps*(1-sig)*(1-loss) - xMbps*loss
+}
+
+// OnMTP implements transport.CongestionControl.
+func (a *Allegro) OnMTP(f *transport.Flow, st transport.MTPStats) {
+	if a.startup {
+		// Startup: double the rate each MI until utility regresses (loss
+		// appears), then hand over to probing.
+		if st.LossRate > 0.02 && st.DeliveredBytes > 0 {
+			a.startup = false
+			a.rateBps /= 2
+		} else {
+			a.rateBps *= 2
+		}
+		f.SetPacingBps(a.rateBps)
+		a.prevDir = 0
+		a.curDir = 1
+		a.curRateMbps = a.rateBps / 1e6
+		mi := a.lastSRTT
+		if mi <= 0 {
+			mi = 0.05
+		}
+		f.ScheduleMTP(mi)
+		return
+	}
+
+	if a.prevDir != 0 {
+		u := a.utility(a.prevRateMbps, st.LossRate)
+		if a.prevDir > 0 {
+			a.uUp, a.haveUp = u, true
+		} else {
+			a.uDown, a.haveDown = u, true
+		}
+		if a.haveUp && a.haveDown {
+			switch {
+			case a.uUp < 0 && a.uDown < 0:
+				// Utility collapsed in both directions: loss is far past
+				// the knee, so step down decisively (being latency-blind,
+				// Allegro gets no earlier warning than overflow).
+				a.rateBps *= 0.7
+			case a.uUp >= a.uDown:
+				a.rateBps *= 1 + a.eps
+			default:
+				a.rateBps /= 1 + a.eps
+			}
+			if a.rateBps < 0.12e6 {
+				a.rateBps = 0.12e6
+			}
+			a.haveUp, a.haveDown = false, false
+		}
+	}
+	a.prevDir, a.prevRateMbps = a.curDir, a.curRateMbps
+	nextDir := -a.curDir
+	if nextDir == 0 {
+		nextDir = 1
+	}
+	probe := a.rateBps * (1 + float64(nextDir)*a.eps)
+	a.curDir, a.curRateMbps = nextDir, probe/1e6
+	f.SetPacingBps(probe)
+	mi := a.lastSRTT
+	if mi <= 0 {
+		mi = 0.05
+	}
+	f.ScheduleMTP(mi)
+}

@@ -1,0 +1,12 @@
+package cc
+
+import (
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func init() {
+	Register("astraea", func() transport.CongestionControl {
+		return core.NewAgent(core.DefaultConfig(), nil)
+	})
+}

@@ -1,0 +1,57 @@
+// Package cc implements the congestion-control algorithms the paper
+// evaluates Astraea against: classical TCP (Reno, Cubic, Vegas), BBR, the
+// delay-based Copa, the online-learning Vivace (PCC), the RL-based Aurora,
+// the hybrid Orca, and a Remy-style rule table. Each scheme implements
+// transport.CongestionControl. A registry maps names to factories so
+// experiments and the CLI can instantiate schemes uniformly.
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Factory builds a fresh congestion controller instance. Each flow needs
+// its own instance because controllers carry per-flow state.
+type Factory func() transport.CongestionControl
+
+var registry = map[string]Factory{}
+
+// Register adds a named factory. It panics on duplicates: registration is
+// an init-time programming act, not a runtime condition.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cc: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates the named scheme.
+func New(name string) (transport.CongestionControl, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown scheme %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New for callers holding a known-good name (experiments, tests).
+func MustNew(name string) transport.CongestionControl {
+	c, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names lists registered schemes, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,118 @@
+package cc
+
+import (
+	"math"
+
+	"repro/internal/transport"
+)
+
+func init() { Register("compound", func() transport.CongestionControl { return NewCompound() }) }
+
+// Compound implements Compound TCP (Tan et al., INFOCOM'06): the congestion
+// window is the sum of a loss-based component (Reno behaviour) and a
+// delay-based component (dwnd) that grows aggressively while queueing delay
+// is low and retreats as delay builds, giving high utilization on
+// high-BDP paths while degrading to Reno under congestion.
+type Compound struct {
+	alpha, beta, k float64 // dwnd growth parameters (0.125, 0.5, 0.75)
+	gamma          float64 // queueing packets threshold (30)
+
+	cwnd float64 // loss-based component
+	dwnd float64 // delay-based component
+
+	ssthresh    float64
+	lastAdjust  float64
+	recoveryEnd int64
+	inRecovery  bool
+}
+
+// NewCompound returns a Compound TCP instance with the published defaults.
+func NewCompound() *Compound {
+	return &Compound{alpha: 0.125, beta: 0.5, k: 0.75, gamma: 30, ssthresh: 1e9}
+}
+
+// Name implements transport.CongestionControl.
+func (c *Compound) Name() string { return "compound" }
+
+// Init implements transport.CongestionControl.
+func (c *Compound) Init(f *transport.Flow) {
+	c.cwnd = f.Cwnd()
+	c.dwnd = 0
+}
+
+func (c *Compound) apply(f *transport.Flow) {
+	w := c.cwnd + c.dwnd
+	if w < 2 {
+		w = 2
+	}
+	f.SetCwnd(w)
+}
+
+// OnAck implements transport.CongestionControl.
+func (c *Compound) OnAck(f *transport.Flow, e transport.AckEvent) {
+	if c.inRecovery {
+		if e.PktNum >= c.recoveryEnd {
+			c.inRecovery = false
+		} else {
+			return
+		}
+	}
+	total := c.cwnd + c.dwnd
+	if total < c.ssthresh {
+		// Slow start grows the loss component.
+		c.cwnd++
+		c.apply(f)
+		return
+	}
+	// Loss component: Reno's +1/w per ack.
+	c.cwnd += 1 / total
+
+	// Delay component adjusts once per RTT.
+	if e.SRTT <= 0 || e.MinRTT <= 0 || e.Now-c.lastAdjust < e.SRTT {
+		c.apply(f)
+		return
+	}
+	c.lastAdjust = e.Now
+	expected := total / e.MinRTT
+	actual := total / e.SRTT
+	diff := (expected - actual) * e.MinRTT // estimated queued packets
+	if diff < c.gamma {
+		// Low queueing: binomial increase alpha*w^k (minus the +1 the loss
+		// part already took over this RTT).
+		inc := c.alpha*math.Pow(total, c.k) - 1
+		if inc < 0 {
+			inc = 0
+		}
+		c.dwnd += inc
+	} else {
+		// Queue building: retreat the delay component.
+		c.dwnd -= c.beta * diff
+		if c.dwnd < 0 {
+			c.dwnd = 0
+		}
+	}
+	c.apply(f)
+}
+
+// OnLoss implements transport.CongestionControl.
+func (c *Compound) OnLoss(f *transport.Flow, e transport.LossEvent) {
+	if e.Timeout {
+		c.ssthresh = (c.cwnd + c.dwnd) / 2
+		c.cwnd, c.dwnd = 2, 0
+		c.apply(f)
+		return
+	}
+	if c.inRecovery && e.PktNum < c.recoveryEnd {
+		return
+	}
+	total := c.cwnd + c.dwnd
+	c.ssthresh = total / 2
+	c.cwnd = c.cwnd / 2
+	c.dwnd = c.dwnd / 2
+	c.apply(f)
+	c.inRecovery = true
+	c.recoveryEnd = f.NextPktNum()
+}
+
+// OnMTP implements transport.CongestionControl; Compound is ack-driven.
+func (c *Compound) OnMTP(f *transport.Flow, st transport.MTPStats) {}

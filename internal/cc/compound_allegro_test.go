@@ -1,0 +1,74 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestCompoundRegistered(t *testing.T) {
+	c := MustNew("compound")
+	if c.Name() != "compound" {
+		t.Fatal(c.Name())
+	}
+	a := MustNew("allegro")
+	if a.Name() != "allegro" {
+		t.Fatal(a.Name())
+	}
+}
+
+func TestCompoundDelayComponentRetreats(t *testing.T) {
+	c := NewCompound()
+	_, f := newTestFlow(c)
+	c.Init(f)
+	c.ssthresh = 1 // skip slow start
+	c.cwnd, c.dwnd = 50, 50
+	c.apply(f)
+	// Large queueing delay: diff = w*(1 - min/srtt)... expected-actual
+	// large → dwnd shrinks.
+	c.OnAck(f, transport.AckEvent{Now: 10, SRTT: 0.040, MinRTT: 0.010})
+	if c.dwnd >= 50 {
+		t.Fatalf("dwnd did not retreat under queueing: %v", c.dwnd)
+	}
+}
+
+func TestCompoundDelayComponentGrowsOnIdleQueue(t *testing.T) {
+	c := NewCompound()
+	_, f := newTestFlow(c)
+	c.Init(f)
+	c.ssthresh = 1
+	c.cwnd, c.dwnd = 50, 0
+	c.apply(f)
+	c.OnAck(f, transport.AckEvent{Now: 10, SRTT: 0.0101, MinRTT: 0.010})
+	if c.dwnd <= 0 {
+		t.Fatalf("dwnd did not grow on an empty queue: %v", c.dwnd)
+	}
+}
+
+func TestCompoundHalvesOnLoss(t *testing.T) {
+	c := NewCompound()
+	_, f := newTestFlow(c)
+	c.Init(f)
+	c.cwnd, c.dwnd = 60, 40
+	c.apply(f)
+	c.OnLoss(f, transport.LossEvent{PktNum: 5, Bytes: 1500, Packets: 1})
+	if w := f.Cwnd(); w < 49 || w > 51 {
+		t.Fatalf("window after loss %v, want ≈50", w)
+	}
+}
+
+func TestAllegroUtilityShape(t *testing.T) {
+	a := NewAllegro()
+	// Below the 5% knee: utility grows with rate, mild loss discount.
+	if a.utility(50, 0.0) <= a.utility(25, 0.0) {
+		t.Fatal("utility not increasing in rate")
+	}
+	// Above the knee: utility collapses (goes negative).
+	if a.utility(50, 0.10) >= 0 {
+		t.Fatalf("utility at 10%% loss = %v, want negative", a.utility(50, 0.10))
+	}
+	// Random loss below the knee is tolerated.
+	if a.utility(50, 0.01) < 0.8*a.utility(50, 0) {
+		t.Fatal("1% loss should barely dent Allegro's utility")
+	}
+}

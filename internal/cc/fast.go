@@ -1,0 +1,103 @@
+package cc
+
+import (
+	"repro/internal/transport"
+)
+
+func init() { Register("fast", func() transport.CongestionControl { return NewFast() }) }
+
+// Fast implements FAST TCP (Jin, Wei & Low, INFOCOM'04): a delay-based
+// high-speed scheme that updates the window once per RTT toward the point
+// where it keeps Alpha packets queued at the bottleneck:
+//
+//	w ← min(2w, (1-Gamma)·w + Gamma·(baseRTT/RTT·w + Alpha))
+//
+// Like Vegas it equalizes per-flow queue occupancy (Alpha packets each), so
+// competing FAST flows share fairly; unlike Vegas the multiplicative update
+// converges quickly on high-BDP paths.
+type Fast struct {
+	Alpha float64 // target queued packets per flow
+	Gamma float64 // update smoothing
+
+	// startup doubles the window per RTT until queueing appears; the
+	// equation's steady growth of Alpha/2 packets per RTT would otherwise
+	// take tens of seconds to fill a high-BDP pipe. Exit requires the
+	// queueing estimate to exceed Alpha/2 on several consecutive acks, so
+	// the transient bursts of the doubling itself do not end it early.
+	startup      bool
+	queuedStreak int
+	lastUpdate   float64
+	recoveryEnd  int64
+	inRecovery   bool
+}
+
+// NewFast returns a FAST instance with moderate parameters (Alpha 20
+// suits the 10-1000 Mbps range used in the experiments).
+func NewFast() *Fast { return &Fast{Alpha: 20, Gamma: 0.5, startup: true} }
+
+// Name implements transport.CongestionControl.
+func (fa *Fast) Name() string { return "fast" }
+
+// Init implements transport.CongestionControl.
+func (fa *Fast) Init(f *transport.Flow) {}
+
+// OnAck implements transport.CongestionControl.
+func (fa *Fast) OnAck(f *transport.Flow, e transport.AckEvent) {
+	if fa.inRecovery {
+		if e.PktNum >= fa.recoveryEnd {
+			fa.inRecovery = false
+		} else {
+			return
+		}
+	}
+	if e.SRTT <= 0 || e.MinRTT <= 0 {
+		return
+	}
+	w := f.Cwnd()
+	if fa.startup {
+		queued := w * (1 - e.MinRTT/e.SRTT)
+		if queued >= fa.Alpha/2 {
+			fa.queuedStreak++
+		} else {
+			fa.queuedStreak = 0
+		}
+		if fa.queuedStreak >= 8 {
+			fa.startup = false
+			f.SetPacingBps(0) // hand rate control back to ack clocking
+		} else {
+			f.SetCwnd(w + 1) // double per RTT
+			// Pace the doubling so its bursts do not fake the queueing
+			// signal that ends startup.
+			f.DefaultPacing()
+			return
+		}
+	}
+	if e.Now-fa.lastUpdate < e.SRTT {
+		return // once per RTT
+	}
+	fa.lastUpdate = e.Now
+	target := (1-fa.Gamma)*w + fa.Gamma*(e.MinRTT/e.SRTT*w+fa.Alpha)
+	if target > 2*w {
+		target = 2 * w
+	}
+	f.SetCwnd(target)
+}
+
+// OnLoss implements transport.CongestionControl: FAST is delay-driven but
+// halves on timeout as a safety valve.
+func (fa *Fast) OnLoss(f *transport.Flow, e transport.LossEvent) {
+	fa.startup = false
+	if e.Timeout {
+		f.SetCwnd(f.Cwnd() / 2)
+		return
+	}
+	if fa.inRecovery && e.PktNum < fa.recoveryEnd {
+		return
+	}
+	f.SetCwnd(f.Cwnd() * 0.875) // mild reduction; delay signal dominates
+	fa.inRecovery = true
+	fa.recoveryEnd = f.NextPktNum()
+}
+
+// OnMTP implements transport.CongestionControl; FAST is ack-driven.
+func (fa *Fast) OnMTP(f *transport.Flow, st transport.MTPStats) {}

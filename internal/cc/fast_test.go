@@ -1,0 +1,101 @@
+package cc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestFastEquilibrium(t *testing.T) {
+	// At the fixed point, w·(1 - base/rtt) = Alpha: the flow keeps exactly
+	// Alpha packets queued. Feed acks at a constant RTT implying 20 queued
+	// packets for w=100 and check the window stays put.
+	fa := NewFast()
+	fa.startup = false
+	_, f := newTestFlow(fa)
+	f.SetCwnd(100)
+	// base 10 ms; with 100 packets and Alpha=20 queued: rtt such that
+	// w*(1-base/rtt)=20 → rtt = base/(1-0.2) = 12.5 ms.
+	for i := 0; i < 10; i++ {
+		fa.OnAck(f, transport.AckEvent{
+			PktNum: int64(i), Now: float64(i), SRTT: 0.0125, MinRTT: 0.010,
+		})
+	}
+	if math.Abs(f.Cwnd()-100) > 1 {
+		t.Fatalf("cwnd %v moved off the fixed point", f.Cwnd())
+	}
+}
+
+func TestFastGrowsWhenQueueEmpty(t *testing.T) {
+	fa := NewFast()
+	fa.startup = false
+	_, f := newTestFlow(fa)
+	f.SetCwnd(50)
+	fa.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.0101, MinRTT: 0.010})
+	if f.Cwnd() <= 50 {
+		t.Fatalf("cwnd %v did not grow on an empty queue", f.Cwnd())
+	}
+}
+
+func TestFastStartupDoublesThenExits(t *testing.T) {
+	fa := NewFast()
+	_, f := newTestFlow(fa)
+	f.SetCwnd(10)
+	// Empty queue: startup adds one packet per ack (doubling per RTT).
+	fa.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.010, MinRTT: 0.010})
+	if f.Cwnd() != 11 {
+		t.Fatalf("startup growth: cwnd %v", f.Cwnd())
+	}
+	// Sustained queueing (w=50, half the window queued ≫ alpha/2 on many
+	// consecutive acks) must end startup; a single spike must not.
+	f.SetCwnd(50)
+	fa.OnAck(f, transport.AckEvent{Now: 2, SRTT: 0.020, MinRTT: 0.010})
+	if !fa.startup {
+		t.Fatal("a single queueing spike ended startup")
+	}
+	for i := 0; i < 10; i++ {
+		fa.OnAck(f, transport.AckEvent{Now: 2.1 + float64(i)*0.02, SRTT: 0.020, MinRTT: 0.010})
+	}
+	if fa.startup {
+		t.Fatal("sustained queueing did not end startup")
+	}
+}
+
+func TestFastShrinksWhenOverQueued(t *testing.T) {
+	fa := NewFast()
+	fa.startup = false
+	_, f := newTestFlow(fa)
+	f.SetCwnd(200)
+	// rtt 20 ms vs base 10: queued = 100 ≫ Alpha.
+	fa.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.020, MinRTT: 0.010})
+	if f.Cwnd() >= 200 {
+		t.Fatalf("cwnd %v did not shrink when over-queued", f.Cwnd())
+	}
+}
+
+func TestFastDoublingCap(t *testing.T) {
+	fa := NewFast()
+	fa.Alpha = 1e6 // absurd target to provoke the cap
+	fa.startup = false
+	_, f := newTestFlow(fa)
+	f.SetCwnd(10)
+	fa.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.010, MinRTT: 0.010})
+	if f.Cwnd() > 20.0001 {
+		t.Fatalf("cwnd %v exceeded the 2x per-RTT cap", f.Cwnd())
+	}
+}
+
+func TestFastOncePerRTT(t *testing.T) {
+	fa := NewFast()
+	fa.startup = false
+	_, f := newTestFlow(fa)
+	f.SetCwnd(50)
+	fa.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.010, MinRTT: 0.010})
+	w := f.Cwnd()
+	// A second ack within the same RTT must not trigger another update.
+	fa.OnAck(f, transport.AckEvent{Now: 1.001, SRTT: 0.010, MinRTT: 0.010})
+	if f.Cwnd() != w {
+		t.Fatalf("window updated twice within one RTT")
+	}
+}

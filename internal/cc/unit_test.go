@@ -1,0 +1,267 @@
+package cc
+
+// Unit tests for scheme internals: window math, filters and gradients,
+// independent of the full emulation loop.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// newTestFlow builds a started flow on a generous link so cwnd setters can
+// be exercised directly.
+func newTestFlow(cc transport.CongestionControl) (*sim.Simulator, *transport.Flow) {
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{RateBps: 1e9, BaseRTT: 0.010, QueueBytes: 1 << 30})
+	f := transport.NewFlow(s, transport.FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc})
+	f.Start()
+	s.Run(0.001)
+	return s, f
+}
+
+func TestRenoHalvesOnLoss(t *testing.T) {
+	r := NewReno()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	r.OnLoss(f, transport.LossEvent{PktNum: 50, Bytes: 1500, Packets: 1})
+	if math.Abs(f.Cwnd()-50) > 1e-9 {
+		t.Fatalf("cwnd after loss %v, want 50", f.Cwnd())
+	}
+	// Second loss within the same window: no further reduction.
+	r.OnLoss(f, transport.LossEvent{PktNum: 51, Bytes: 1500, Packets: 1})
+	if math.Abs(f.Cwnd()-50) > 1e-9 {
+		t.Fatalf("cwnd reduced twice in one window: %v", f.Cwnd())
+	}
+}
+
+func TestRenoTimeoutResetsToOne(t *testing.T) {
+	r := NewReno()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	r.OnLoss(f, transport.LossEvent{Timeout: true})
+	if f.Cwnd() > 2 {
+		t.Fatalf("cwnd after RTO %v, want minimum", f.Cwnd())
+	}
+}
+
+func TestRenoSlowStartGrowth(t *testing.T) {
+	r := NewReno()
+	_, f := newTestFlow(r)
+	start := f.Cwnd()
+	// Each ack in slow start adds one packet.
+	for i := 0; i < 10; i++ {
+		r.OnAck(f, transport.AckEvent{PktNum: int64(i), Bytes: 1500})
+	}
+	if f.Cwnd() != start+10 {
+		t.Fatalf("slow start growth %v from %v", f.Cwnd(), start)
+	}
+}
+
+func TestCubicBetaReduction(t *testing.T) {
+	cu := NewCubic()
+	_, f := newTestFlow(cu)
+	f.SetCwnd(100)
+	cu.OnLoss(f, transport.LossEvent{PktNum: 10, Bytes: 1500, Packets: 1})
+	if math.Abs(f.Cwnd()-70) > 1e-9 {
+		t.Fatalf("cwnd after loss %v, want 70 (beta 0.7)", f.Cwnd())
+	}
+}
+
+func TestCubicRecoversTowardWmax(t *testing.T) {
+	cu := NewCubic()
+	_, f := newTestFlow(cu)
+	cu.ssthresh = 1 // force congestion avoidance
+	f.SetCwnd(100)
+	cu.OnLoss(f, transport.LossEvent{PktNum: 10, Bytes: 1500, Packets: 1})
+	cu.inRecovery = false
+	w0 := f.Cwnd()
+	// Feed acks over simulated time; the cubic function must pull the
+	// window back toward the pre-loss maximum.
+	for i := 0; i < 3000; i++ {
+		cu.OnAck(f, transport.AckEvent{PktNum: int64(100 + i), Now: 0.001 * float64(i), SRTT: 0.01})
+	}
+	if f.Cwnd() <= w0 {
+		t.Fatalf("cubic did not grow after reduction: %v -> %v", w0, f.Cwnd())
+	}
+	if f.Cwnd() < 85 {
+		t.Fatalf("cubic recovery too slow: reached %v of Wmax 100", f.Cwnd())
+	}
+}
+
+func TestVegasWindowReaction(t *testing.T) {
+	v := NewVegas()
+	_, f := newTestFlow(v)
+	v.ssthresh = 1
+	f.SetCwnd(100)
+	// diff = cwnd*(srtt-base)/srtt; base 10 ms, srtt 10.2 ms → diff ≈ 1.96
+	// (< alpha 2): increase.
+	v.OnAck(f, transport.AckEvent{Now: 1, SRTT: 0.0102, MinRTT: 0.010})
+	if f.Cwnd() != 101 {
+		t.Fatalf("vegas under alpha should +1: %v", f.Cwnd())
+	}
+	// diff = 100*(0.012-0.010)/0.012 = 16.7 (> beta 4): decrease.
+	v.OnAck(f, transport.AckEvent{Now: 2, SRTT: 0.012, MinRTT: 0.010})
+	if f.Cwnd() != 100 {
+		t.Fatalf("vegas over beta should -1: %v", f.Cwnd())
+	}
+	// Within [alpha, beta]: hold. diff = 100*(0.0103-0.01)/0.0103 ≈ 2.9.
+	v.OnAck(f, transport.AckEvent{Now: 3, SRTT: 0.0103, MinRTT: 0.010})
+	if f.Cwnd() != 100 {
+		t.Fatalf("vegas in band should hold: %v", f.Cwnd())
+	}
+}
+
+func TestBBRPacingGainCycle(t *testing.T) {
+	// The PROBE_BW gains must include exactly one 1.25 probe and one 0.75
+	// drain phase per 8-phase cycle.
+	var probes, drains int
+	for _, g := range bbrCycleGains {
+		switch {
+		case g > 1:
+			probes++
+		case g < 1:
+			drains++
+		}
+	}
+	if probes != 1 || drains != 1 {
+		t.Fatalf("gain cycle %v", bbrCycleGains)
+	}
+}
+
+func TestBBRMaxFilterWindow(t *testing.T) {
+	var m maxFilter
+	m.update(0, 10, 5)
+	m.update(1, 30, 5)
+	m.update(2, 20, 5)
+	if m.max() != 30 {
+		t.Fatalf("max %v", m.max())
+	}
+	// The 30 sample ages out of the 5s window.
+	m.update(7, 5, 5)
+	if m.max() != 20 {
+		t.Fatalf("max after expiry %v, want 20", m.max())
+	}
+}
+
+func TestVivaceGradientStepsRateUp(t *testing.T) {
+	v := NewVivace(DefaultVivaceConfig())
+	v.rateBps = 10e6
+	// Higher utility on the up-probe: gradient positive, rate increases.
+	v.uUp, v.uDown = 5.0, 4.0
+	v.haveUp, v.haveDown = true, true
+	v.decide()
+	if v.rateBps <= 10e6 {
+		t.Fatalf("positive gradient did not raise rate: %v", v.rateBps)
+	}
+}
+
+func TestVivaceGradientStepsRateDown(t *testing.T) {
+	v := NewVivace(DefaultVivaceConfig())
+	v.rateBps = 10e6
+	v.uUp, v.uDown = 4.0, 5.0
+	v.haveUp, v.haveDown = true, true
+	v.decide()
+	if v.rateBps >= 10e6 {
+		t.Fatalf("negative gradient did not lower rate: %v", v.rateBps)
+	}
+	if v.rateBps < 0.12e6 {
+		t.Fatalf("rate below floor: %v", v.rateBps)
+	}
+}
+
+func TestVivaceThetaEscalation(t *testing.T) {
+	v := NewVivace(DefaultVivaceConfig())
+	v.rateBps = 10e6
+	theta0 := v.theta
+	for i := 0; i < 3; i++ {
+		v.uUp, v.uDown = 5.0, 4.0
+		v.decide()
+	}
+	if v.theta <= theta0 {
+		t.Fatalf("theta did not escalate on consistent gradients: %v", v.theta)
+	}
+	// A sign flip resets theta.
+	v.uUp, v.uDown = 4.0, 5.0
+	v.decide()
+	if v.theta != theta0 {
+		t.Fatalf("theta not reset on sign flip: %v", v.theta)
+	}
+}
+
+func TestAuroraDistilledPolicyShape(t *testing.T) {
+	p := distilledAurora{}
+	// Clean network: full throttle.
+	if a := p.Act([]float64{1.0, 1.0, 0}); a != 1 {
+		t.Fatalf("clean network action %v", a)
+	}
+	// Heavy loss (send/deliver ratio 1.25 → 20% loss): back off.
+	if a := p.Act([]float64{1.25, 1.5, 0}); a >= 0 {
+		t.Fatalf("heavy-loss action %v", a)
+	}
+	// Moderate latency growth alone barely registers (the Eq. 1 reward is
+	// throughput-dominated).
+	if a := p.Act([]float64{1.0, 2.0, 0.5}); a < 0.5 {
+		t.Fatalf("latency-only action %v; Aurora should stay aggressive", a)
+	}
+}
+
+func TestOrcaDistilledPolicyShape(t *testing.T) {
+	p := distilledOrca{}
+	// Underutilized, no queue: push.
+	if a := p.Act([]float64{0.5, 1.0, 0}); a <= 0 {
+		t.Fatalf("underutilized action %v", a)
+	}
+	// Deep queue: back off.
+	if a := p.Act([]float64{1.0, 2.5, 0}); a >= 0 {
+		t.Fatalf("deep-queue action %v", a)
+	}
+	// Healthy: leave Cubic alone.
+	if a := p.Act([]float64{0.95, 1.1, 0}); a != 0 {
+		t.Fatalf("healthy action %v, want 0", a)
+	}
+}
+
+func TestCopaVelocityDoubling(t *testing.T) {
+	c := NewCopa()
+	_, f := newTestFlow(c)
+	f.SetCwnd(50)
+	// Sustained same-direction updates across RTT boundaries double the
+	// velocity.
+	v0 := c.velocity
+	for i := 0; i < 8; i++ {
+		c.updateDirection(float64(i), 0.5, +1, f.Cwnd())
+	}
+	if c.velocity <= v0 {
+		t.Fatalf("velocity did not double: %v", c.velocity)
+	}
+	// Direction flip resets it.
+	c.updateDirection(100, 0.5, -1, f.Cwnd())
+	if c.velocity != 1 {
+		t.Fatalf("velocity not reset: %v", c.velocity)
+	}
+}
+
+func TestRemyTableCoversSignalSpace(t *testing.T) {
+	r := NewRemy()
+	// Every plausible (rttRatio ≥ 1, ackRatio ∈ [0,1]) point must match a
+	// rule — gaps would wedge the controller.
+	for _, rr := range []float64{1.0, 1.1, 1.2, 1.39, 1.5, 1.79, 1.9, 3, 10} {
+		for _, ar := range []float64{0, 0.3, 0.69, 0.71, 1.0} {
+			found := false
+			for _, rule := range r.table {
+				if rr >= rule.rttRatioLo && rr < rule.rttRatioHi &&
+					ar >= rule.ackLo && ar < rule.ackHi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no rule for rttRatio=%v ackRatio=%v", rr, ar)
+			}
+		}
+	}
+}

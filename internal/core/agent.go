@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/transport"
+)
+
+// ActionToCwnd applies Eq. 3: a multiplicative cwnd update scaled by the
+// action-control coefficient alpha.
+func ActionToCwnd(cwnd, action, alpha float64) float64 {
+	if action >= 0 {
+		return cwnd * (1 + alpha*action)
+	}
+	return cwnd / (1 - alpha*action)
+}
+
+// Agent is Astraea's deployment-phase congestion controller: each MTP it
+// assembles the local state, queries the policy (directly or through a
+// shared inference Service), and enforces the Eq. 3 window update with
+// cwnd/sRTT pacing. Global information is used only during training, never
+// here (§3.1, Evaluation).
+type Agent struct {
+	Cfg    Config
+	policy Policy
+	// Service, when set, routes inference through the shared batch service
+	// instead of calling the policy synchronously.
+	service *Service
+
+	states *StateBlock
+
+	// Startup mirrors kernel slow start: the window doubles per RTT until
+	// the first queueing or loss signal, after which the policy takes over.
+	// Without it a new flow would be limited to (1+alpha) growth per MTP
+	// from the initial window, contradicting the sub-second convergence the
+	// paper measures (Fig. 12).
+	inStartup bool
+
+	// Drain scheduling: every DrainPeriod MTPs the agent spends DrainLen
+	// MTPs shrinking its window by DrainFactor per MTP, then restores it.
+	// This periodically empties the bottleneck queue so every competing
+	// flow re-observes the true base RTT — without it, a late-arriving
+	// flow's minRTT permanently includes the incumbents' standing queue,
+	// biasing delay-targeting control and capping achievable fairness (the
+	// same reason BBR runs PROBE_RTT and Copa drains once per 5 RTT). It is
+	// a deployment-side mechanism like pacing, independent of which policy
+	// (reference or neural) is loaded.
+	DrainPeriod  int
+	DrainLen     int
+	DrainFactor  float64
+	mtpCount     int
+	drainOffset  int
+	preDrainCwnd float64
+
+	// Hooks for the training environment.
+	OnMTPState func(f *transport.Flow, st transport.MTPStats, ls LocalState)
+	// ActionOverride, when non-nil, replaces the policy output (training
+	// exploration injects noise this way).
+	ActionOverride func(state []float64, policyAction float64) float64
+
+	// LastAction and LastState expose the most recent decision.
+	LastAction float64
+	LastState  []float64
+}
+
+// agentSeq staggers drain windows across agents so concurrently created
+// flows do not drain in lockstep.
+var agentSeq int
+
+// NewAgent builds an agent around policy (nil selects the reference
+// policy).
+func NewAgent(cfg Config, policy Policy) *Agent {
+	if policy == nil {
+		policy = NewReferencePolicy(cfg)
+	}
+	agentSeq++
+	return &Agent{
+		Cfg: cfg, policy: policy, states: NewStateBlock(cfg), inStartup: true,
+		DrainPeriod: 64, DrainLen: 3, DrainFactor: 0.85,
+		drainOffset: (agentSeq * 17) % 64,
+	}
+}
+
+// NewServedAgent builds an agent whose inference goes through a shared
+// batch Service.
+func NewServedAgent(cfg Config, svc *Service) *Agent {
+	a := NewAgent(cfg, nil)
+	a.service = svc
+	return a
+}
+
+// Name implements transport.CongestionControl.
+func (a *Agent) Name() string { return "astraea" }
+
+// StateInput returns the current stacked state vector (the training
+// environment uses it as the s' of a closing transition).
+func (a *Agent) StateInput() []float64 { return a.states.Input() }
+
+// Init implements transport.CongestionControl.
+func (a *Agent) Init(f *transport.Flow) {
+	f.ScheduleMTP(a.Cfg.MTP)
+}
+
+// OnAck implements transport.CongestionControl: slow-start growth happens
+// per ack while in startup.
+func (a *Agent) OnAck(f *transport.Flow, e transport.AckEvent) {
+	if a.inStartup {
+		f.SetCwnd(f.Cwnd() + 1)
+	}
+}
+
+// OnLoss implements transport.CongestionControl: any loss ends startup.
+func (a *Agent) OnLoss(f *transport.Flow, e transport.LossEvent) {
+	if a.inStartup {
+		a.inStartup = false
+		f.SetCwnd(f.Cwnd() / 2)
+	}
+}
+
+// OnMTP implements transport.CongestionControl: the control decision.
+func (a *Agent) OnMTP(f *transport.Flow, st transport.MTPStats) {
+	ls := localStateFromMTP(a.Cfg, st)
+	a.states.Push(ls)
+	if a.OnMTPState != nil {
+		a.OnMTPState(f, st, ls)
+	}
+
+	// Exit startup on the first sign of queueing.
+	if a.inStartup && ls.LatRatio > 1.15 {
+		a.inStartup = false
+	}
+
+	if !a.inStartup {
+		a.mtpCount++
+		state := a.states.Input()
+		var action float64
+		if a.service != nil {
+			action = a.service.Infer(state)
+		} else {
+			action = a.policy.Action(state)
+		}
+		if a.ActionOverride != nil {
+			action = a.ActionOverride(state, action)
+		}
+		if action > 1 {
+			action = 1
+		}
+		if action < -1 {
+			action = -1
+		}
+		a.LastAction = action
+		a.LastState = state
+
+		phase := -1
+		if a.DrainPeriod > 0 {
+			phase = (a.mtpCount + a.drainOffset) % a.DrainPeriod
+		}
+		switch {
+		case phase >= 0 && phase < a.DrainLen:
+			// Drain window: shrink decisively so the bottleneck queue can
+			// empty; remember the window to restore afterwards.
+			if phase == 0 {
+				a.preDrainCwnd = f.Cwnd()
+			}
+			f.SetCwnd(f.Cwnd() * a.DrainFactor)
+		case phase == a.DrainLen && a.preDrainCwnd > 0:
+			// Restore to slightly below the pre-drain window and resume
+			// policy control from there.
+			f.SetCwnd(a.preDrainCwnd * 0.97)
+			a.preDrainCwnd = 0
+		default:
+			f.SetCwnd(ActionToCwnd(f.Cwnd(), action, a.Cfg.Alpha))
+		}
+	}
+
+	// Pacing at cwnd/sRTT (§3.3), capped at a multiple of the best
+	// observed delivery rate: a runaway window must not translate into an
+	// arbitrarily fast packet clock (the same guard BBR's pacing gain
+	// provides), which matters during exploration-heavy training.
+	if srtt := f.SRTT(); srtt > 0 {
+		pacing := 1.1 * f.Cwnd() * transport.MSS * 8 / srtt
+		if maxT := f.MaxTputBps(); maxT > 0 && pacing > 8*maxT {
+			pacing = 8 * maxT
+		}
+		f.SetPacingBps(pacing)
+	}
+	f.ScheduleMTP(a.Cfg.MTP)
+}

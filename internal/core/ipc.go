@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the out-of-process transport of the inference
+// service (§4): senders talk to a shared service over a UNIX datagram or
+// UDP socket. The wire format is fixed-size little-endian float64s:
+//
+//	request:  [reqID uint64][n uint32][n × float64 state]
+//	response: [reqID uint64][action float64]
+//
+// The in-process Service does the batching; this layer only moves bytes,
+// exactly the split the paper's C++ implementation uses.
+
+// maxStateDim bounds the accepted request size (defensive: a datagram
+// declaring a huge n must not cause a huge allocation).
+const maxStateDim = 4096
+
+// encodeRequest serializes an inference request.
+func encodeRequest(reqID uint64, state []float64) []byte {
+	buf := make([]byte, 12+8*len(state))
+	binary.LittleEndian.PutUint64(buf[0:8], reqID)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(state)))
+	for i, v := range state {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeRequest parses a request datagram.
+func decodeRequest(buf []byte) (reqID uint64, state []float64, err error) {
+	if len(buf) < 12 {
+		return 0, nil, fmt.Errorf("core: request too short (%d bytes)", len(buf))
+	}
+	reqID = binary.LittleEndian.Uint64(buf[0:8])
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	if n > maxStateDim {
+		return 0, nil, fmt.Errorf("core: state dim %d exceeds limit", n)
+	}
+	if len(buf) < 12+int(n)*8 {
+		return 0, nil, fmt.Errorf("core: truncated request: %d bytes for dim %d", len(buf), n)
+	}
+	state = make([]float64, n)
+	for i := range state {
+		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[12+8*i:]))
+	}
+	return reqID, state, nil
+}
+
+// encodeResponse serializes an inference response.
+func encodeResponse(reqID uint64, action float64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], reqID)
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(action))
+	return buf
+}
+
+// decodeResponse parses a response datagram.
+func decodeResponse(buf []byte) (reqID uint64, action float64, err error) {
+	if len(buf) < 16 {
+		return 0, 0, fmt.Errorf("core: response too short (%d bytes)", len(buf))
+	}
+	return binary.LittleEndian.Uint64(buf[0:8]),
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])), nil
+}
+
+// ServiceServer exposes a Service over a packet connection (UDP or unixgram).
+type ServiceServer struct {
+	Service *Service
+	conn    net.PacketConn
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ListenAndServe starts serving on network/address (e.g. "udp",
+// "127.0.0.1:0" or "unixgram", "/tmp/astraea.sock") until Close.
+func ListenAndServe(svc *Service, network, address string) (*ServiceServer, error) {
+	conn, err := net.ListenPacket(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen %s %s: %w", network, address, err)
+	}
+	s := &ServiceServer{Service: svc, conn: conn, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *ServiceServer) Addr() net.Addr { return s.conn.LocalAddr() }
+
+func (s *ServiceServer) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 12+8*maxStateDim)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			continue // transient read errors: drop the datagram, keep serving
+		}
+		reqID, state, err := decodeRequest(buf[:n])
+		if err != nil {
+			continue // malformed datagram: drop (datagram semantics)
+		}
+		s.wg.Add(1)
+		go func(reqID uint64, state []float64, from net.Addr) {
+			defer s.wg.Done()
+			action := s.Service.Infer(state)
+			// Best-effort reply: a lost datagram means the sender times out
+			// and reuses its previous action, like any datagram protocol.
+			_, _ = s.conn.WriteTo(encodeResponse(reqID, action), from)
+		}(reqID, state, from)
+	}
+}
+
+// Close stops the server and flushes the underlying service.
+func (s *ServiceServer) Close() error {
+	close(s.closed)
+	err := s.conn.Close()
+	s.Service.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ServiceClient issues inference requests to a remote ServiceServer.
+type ServiceClient struct {
+	conn      net.Conn
+	localPath string // unixgram client socket file, removed on Close
+
+	mu    sync.Mutex
+	next  uint64
+	calls map[uint64]chan float64
+
+	readOnce sync.Once
+}
+
+// clientSeq names unixgram client sockets uniquely within the process.
+var clientSeq atomic.Uint64
+
+// DialService connects to a server at network/address. For "unixgram" the
+// client binds its own socket (next to the server's path) so the server
+// has a return address; the socket file is removed on Close.
+func DialService(network, address string) (*ServiceClient, error) {
+	if network == "unixgram" {
+		local := fmt.Sprintf("%s.client-%d-%d", address, os.Getpid(), clientSeq.Add(1))
+		laddr := &net.UnixAddr{Name: local, Net: "unixgram"}
+		raddr := &net.UnixAddr{Name: address, Net: "unixgram"}
+		conn, err := net.DialUnix("unixgram", laddr, raddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: dial unixgram %s: %w", address, err)
+		}
+		return &ServiceClient{conn: conn, localPath: local, calls: make(map[uint64]chan float64)}, nil
+	}
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s %s: %w", network, address, err)
+	}
+	return &ServiceClient{conn: conn, calls: make(map[uint64]chan float64)}, nil
+}
+
+func (c *ServiceClient) readLoop() {
+	buf := make([]byte, 64)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			// Connection closed: fail all waiters with a neutral action.
+			c.mu.Lock()
+			for id, ch := range c.calls {
+				ch <- 0
+				delete(c.calls, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		reqID, action, err := decodeResponse(buf[:n])
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if ch, ok := c.calls[reqID]; ok {
+			ch <- action
+			delete(c.calls, reqID)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Infer sends one request and waits for its response.
+func (c *ServiceClient) Infer(state []float64) (float64, error) {
+	c.readOnce.Do(func() { go c.readLoop() })
+	ch := make(chan float64, 1)
+	c.mu.Lock()
+	c.next++
+	id := c.next
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	if _, err := c.conn.Write(encodeRequest(id, state)); err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return 0, fmt.Errorf("core: send inference request: %w", err)
+	}
+	return <-ch, nil
+}
+
+// Close tears down the client connection.
+func (c *ServiceClient) Close() error {
+	err := c.conn.Close()
+	if c.localPath != "" {
+		os.Remove(c.localPath)
+	}
+	return err
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWireFormatRoundTrip(t *testing.T) {
+	state := []float64{0.1, -2.5, math.Pi, 0}
+	buf := encodeRequest(42, state)
+	id, got, err := decodeRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || len(got) != len(state) {
+		t.Fatalf("id=%d len=%d", id, len(got))
+	}
+	for i := range state {
+		if got[i] != state[i] {
+			t.Fatalf("state[%d] = %v", i, got[i])
+		}
+	}
+	rbuf := encodeResponse(42, -0.75)
+	rid, action, err := decodeResponse(rbuf)
+	if err != nil || rid != 42 || action != -0.75 {
+		t.Fatalf("response round trip: %v %v %v", rid, action, err)
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	if _, _, err := decodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short request accepted")
+	}
+	// Claims a huge dimension.
+	buf := encodeRequest(1, make([]float64, 4))
+	buf[8] = 0xFF
+	buf[9] = 0xFF
+	buf[10] = 0xFF
+	buf[11] = 0x7F
+	if _, _, err := decodeRequest(buf); err == nil {
+		t.Fatal("oversized dim accepted")
+	}
+	// Truncated payload.
+	buf2 := encodeRequest(1, make([]float64, 4))[:20]
+	if _, _, err := decodeRequest(buf2); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	if _, _, err := decodeResponse([]byte{1}); err == nil {
+		t.Fatal("short response accepted")
+	}
+}
+
+func TestServiceOverUDP(t *testing.T) {
+	cfg := DefaultConfig()
+	svc := NewService(cfg, constPolicy{0.5})
+	svc.BatchWindow = time.Millisecond
+	srv, err := ListenAndServe(svc, "udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := DialService("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	state := make([]float64, cfg.StateDim())
+	got, err := client.Infer(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("Infer over UDP = %v", got)
+	}
+}
+
+func TestServiceOverUDPConcurrentClients(t *testing.T) {
+	cfg := DefaultConfig()
+	svc := NewService(cfg, constPolicy{0.25})
+	svc.BatchWindow = 2 * time.Millisecond
+	svc.MaxBatch = 64
+	srv, err := ListenAndServe(svc, "udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 16
+	const perClient = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := DialService("udp", srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			state := make([]float64, cfg.StateDim())
+			for i := 0; i < perClient; i++ {
+				v, err := cl.Infer(state)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != 0.25 {
+					errs <- errValue(v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if svc.Requests != clients*perClient {
+		t.Fatalf("service saw %d requests, want %d", svc.Requests, clients*perClient)
+	}
+	// Batching across clients must have occurred.
+	if svc.Batches >= svc.Requests {
+		t.Fatalf("no batching: %d batches for %d requests", svc.Batches, svc.Requests)
+	}
+}
+
+type errValue float64
+
+func (e errValue) Error() string { return "unexpected action value" }
+
+func TestServiceOverUnixgram(t *testing.T) {
+	dir := t.TempDir()
+	sock := dir + "/astraea.sock"
+	cfg := DefaultConfig()
+	svc := NewService(cfg, constPolicy{-0.5})
+	svc.BatchWindow = time.Millisecond
+	srv, err := ListenAndServe(svc, "unixgram", sock)
+	if err != nil {
+		t.Skipf("unixgram unavailable: %v", err)
+	}
+	defer srv.Close()
+
+	client, err := DialService("unixgram", sock)
+	if err != nil {
+		t.Skipf("unixgram dial: %v", err)
+	}
+	defer client.Close()
+	got, err := client.Infer(make([]float64, cfg.StateDim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -0.5 {
+		t.Fatalf("Infer over unixgram = %v", got)
+	}
+}

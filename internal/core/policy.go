@@ -1,0 +1,220 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// Policy maps the stacked state vector (w × 8 features, newest frame first)
+// to an action in [-1, 1].
+type Policy interface {
+	Action(state []float64) float64
+}
+
+// MLPPolicy wraps a trained actor network.
+type MLPPolicy struct {
+	Net *nn.MLP
+}
+
+// Action implements Policy.
+func (p *MLPPolicy) Action(state []float64) float64 {
+	out := p.Net.Forward(state)
+	a := out[0]
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	return a
+}
+
+// SavePolicy serializes an actor network to path as JSON weights.
+func SavePolicy(path string, net *nn.MLP) error {
+	data, err := json.MarshalIndent(net, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: marshal policy: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPolicy reads JSON weights saved by SavePolicy.
+func LoadPolicy(path string) (*MLPPolicy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var net nn.MLP
+	if err := json.Unmarshal(data, &net); err != nil {
+		return nil, fmt.Errorf("core: parse policy %s: %w", path, err)
+	}
+	return &MLPPolicy{Net: &net}, nil
+}
+
+// ReferencePolicy is the distilled rendering of the converged Astraea
+// policy, encoding the structure §5.5 reports for the learned model: the
+// action decreases monotonically with observed queueing delay, and each
+// throughput level has a delay equilibrium (action = 0), so that competing
+// flows — which share one queueing delay — are driven to equal rates. The
+// closed-loop law targets the rate at which the flow's share of queueing
+// delay matches Delta-scaled fairness, a Copa-style inverse-delay target
+// that the reward of Eq. 8 makes optimal: it maximizes throughput while
+// keeping the queue below the latency-tolerance knee and equalizing rates.
+//
+// In deployment the distilled policy is interchangeable with a trained
+// MLPPolicy (DistillPolicy fits the network to it); experiments default to
+// it for determinism.
+type ReferencePolicy struct {
+	Cfg Config
+	// Delta is the inverse-delay aggressiveness: the equilibrium standing
+	// queue with n flows on capacity C is n·MSS·8/(Delta·C) seconds.
+	Delta float64
+	// MinDelta floors the competitive-mode escalation below.
+	MinDelta float64
+	// Gain converts relative cwnd error into action.
+	Gain float64
+	// LossBackoff is the loss ratio above which the policy forces a = -1
+	// (congestive collapse guard; random loss below it is ignored, keeping
+	// the policy loss-resilient like the trained model).
+	LossBackoff float64
+	// ModeWindow is how many decisions the competitive-mode detector
+	// observes before re-evaluating (it must exceed the agent's drain
+	// period so Astraea's own drains register as queue-drain evidence).
+	ModeWindow int
+
+	// Competitive-tolerance state: pure delay-targeting starves against
+	// buffer-filling competitors (Cubic, BBR), so — like Copa's competitive
+	// mode and like the behaviour §5.3.1 reports for the trained model
+	// ("more tolerance to latency inflation when occupying low bandwidth")
+	// — the policy scales its delta down as the *never-drains floor* of
+	// the queueing delay rises: each detector window records the minimum
+	// latency ratio observed, and delta_eff = Delta / (1 + Tolerance *
+	// (floor - drainedRatio)). The response is deliberately continuous: a
+	// binary mode switch flips asymmetrically between identical flows
+	// sitting near the threshold and wrecks fairness, whereas the floor is
+	// a shared observable (one bottleneck queue), so identical flows derive
+	// nearly identical deltas and intra-Astraea fairness is preserved at
+	// every operating point.
+	curDelta    float64
+	minLatRatio float64
+	seen        int
+	// Tolerance is the slope of the delta reduction per unit of persistent
+	// latency-ratio excess.
+	Tolerance float64
+}
+
+// NewReferencePolicy returns the tuned reference policy.
+func NewReferencePolicy(cfg Config) *ReferencePolicy {
+	return &ReferencePolicy{
+		Cfg: cfg, Delta: 0.08, MinDelta: 0.027, Gain: 4, LossBackoff: 0.08,
+		ModeWindow: 80, Tolerance: 6,
+		curDelta: 0.08, minLatRatio: math.Inf(1),
+	}
+}
+
+// SetDelta changes the default aggressiveness (and resets the current
+// mode), for sensitivity experiments.
+func (rp *ReferencePolicy) SetDelta(d float64) {
+	rp.Delta = d
+	rp.curDelta = d
+}
+
+// observeMode updates the competitive-tolerance detector with one
+// decision's latency ratio.
+func (rp *ReferencePolicy) observeMode(latRatio float64) {
+	if latRatio < rp.minLatRatio {
+		rp.minLatRatio = latRatio
+	}
+	rp.seen++
+	if rp.seen < rp.ModeWindow {
+		return
+	}
+	const drainedRatio = 1.15
+	excess := rp.minLatRatio - drainedRatio
+	if excess < 0 {
+		excess = 0
+	}
+	rp.curDelta = math.Max(rp.Delta/(1+rp.Tolerance*excess), rp.MinDelta)
+	rp.seen = 0
+	rp.minLatRatio = math.Inf(1)
+}
+
+// Action implements Policy. It decodes the newest frame of the stacked
+// feature vector (layout per LocalState.Vector) and advances the
+// competitive-mode detector.
+func (rp *ReferencePolicy) Action(state []float64) float64 {
+	if len(state) >= LocalFeatureDim && state[2] > 0 {
+		rp.observeMode(state[2])
+	}
+	delta := rp.curDelta
+	if delta <= 0 {
+		delta = rp.Delta
+	}
+	return rp.actionWithDelta(state, delta)
+}
+
+// actionWithDelta is the pure (stateless) control law at a fixed delta; the
+// distillation pipeline trains the neural actor against it at the default
+// delta.
+func (rp *ReferencePolicy) actionWithDelta(state []float64, delta float64) float64 {
+	if len(state) < LocalFeatureDim {
+		return 0
+	}
+	tputRatio := state[0]
+	maxTput := state[1] * rp.Cfg.TputScale // bits/sec
+	latRatio := state[2]
+	minLat := state[3] * rp.Cfg.LatScale // seconds
+	relCwnd := state[4]
+	lossRatio := state[5]
+
+	if maxTput <= 1 || minLat <= 0 {
+		// No signal yet: probe upward.
+		return 1
+	}
+	// Congestive-loss guard: heavy loss relative to delivery forces backoff.
+	if lossRatio > rp.LossBackoff*math.Max(tputRatio, 0.1) {
+		return -1
+	}
+
+	lat := latRatio * minLat
+	dq := lat - minLat
+	// Floor the queueing delay at a small fraction of the base RTT so the
+	// target stays finite on an empty queue (where the policy probes up).
+	minDq := 0.002 * minLat
+	if minDq < 50e-6 {
+		minDq = 50e-6
+	}
+	if dq < minDq {
+		dq = minDq
+	}
+
+	// Target rate: inverse to queueing delay (packets/sec → bits/sec).
+	targetBps := 1500 * 8 / (delta * dq)
+	// Convert to a relative-cwnd target: cwnd*/(thrmax·latmin) = target/thrmax
+	// up to the srtt/latmin factor, which cancels in the ratio below when
+	// queues are modest.
+	targetRel := targetBps / maxTput * latRatio // cwnd ≈ rate · srtt
+	cur := relCwnd
+	if cur <= 0 {
+		return 1
+	}
+	a := rp.Gain * (targetRel/cur - 1)
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	return a
+}
+
+// EquilibriumQueueDelay returns the standing queueing delay at which n
+// flows on capacity c (bits/sec) reach action = 0 — exposed for tests and
+// the Fig. 17 interpretation experiment.
+func (rp *ReferencePolicy) EquilibriumQueueDelay(n int, cBps float64) float64 {
+	return float64(n) * 1500 * 8 / (rp.Delta * cBps)
+}

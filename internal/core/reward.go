@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+)
+
+// FlowObs is the per-flow observation the reward block consumes for one
+// MTP: current and windowed throughputs, latency, loss.
+type FlowObs struct {
+	TputBps     float64   // thr_i,t: throughput in the current MTP
+	TputHistory []float64 // last w MTP throughputs, oldest first (including current)
+	AvgLat      float64   // mean latency over the MTP
+	LossBps     float64   // lost-byte rate over the MTP
+	PacingBps   float64
+}
+
+// LinkInfo is the ground truth the reward normalizes against.
+type LinkInfo struct {
+	Bandwidth float64 // c, bits/sec
+	BaseOWD   float64 // d0, seconds
+}
+
+// RewardComponents breaks Eq. 8 into its terms for tests, logging and the
+// Fig. 4 / Fig. 18 experiments.
+type RewardComponents struct {
+	Thr   float64 // Eq. 4 throughput term
+	Lat   float64 // Eq. 5 latency term
+	Loss  float64 // Eq. 4 loss term
+	Fair  float64 // Eq. 6 fairness term
+	Stab  float64 // Eq. 6 stability term
+	Total float64 // Eq. 8, bounded to (-0.1, 0.1)
+}
+
+// avgThr computes Eq. 7: the mean of a flow's last-w throughputs.
+func avgThr(hist []float64) float64 {
+	if len(hist) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range hist {
+		s += v
+	}
+	return s / float64(len(hist))
+}
+
+// Reward evaluates Eqs. 4–8 over all active flows.
+func Reward(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
+	var rc RewardComponents
+	n := len(flows)
+	if n == 0 || link.Bandwidth <= 0 {
+		return rc
+	}
+
+	// Eq. 4: throughput and loss.
+	var sumThr, sumLossRatio, sumLat, sumPacing float64
+	for _, f := range flows {
+		sumThr += f.TputBps
+		if f.TputBps > 0 {
+			sumLossRatio += f.LossBps / f.TputBps
+		} else if f.LossBps > 0 {
+			sumLossRatio += 1
+		}
+		sumLat += f.AvgLat
+		sumPacing += f.PacingBps
+	}
+	rc.Thr = sumThr / link.Bandwidth
+	rc.Loss = sumLossRatio / float64(n)
+
+	// Eq. 5: latency above the tolerated (1+beta)*d0, weighted by pacing
+	// rate (normalized so the term stays comparable across link speeds).
+	avgLat := sumLat / float64(n)
+	tol := (1 + cfg.Beta) * 2 * link.BaseOWD // latency here is an RTT measure
+	if avgLat > tol && tol > 0 {
+		rc.Lat = (avgLat - tol) * (sumPacing / float64(n)) / link.Bandwidth / link.BaseOWD
+	}
+
+	// Eq. 6: fairness from the spread of windowed average throughputs
+	// across flows, normalized by their sum.
+	avg := make([]float64, n)
+	var sumAvg float64
+	for i, f := range flows {
+		avg[i] = avgThr(f.TputHistory)
+		sumAvg += avg[i]
+	}
+	if sumAvg > 0 && n > 1 {
+		mean := sumAvg / float64(n)
+		var ss float64
+		for _, a := range avg {
+			d := a - mean
+			ss += d * d
+		}
+		rc.Fair = math.Sqrt(ss / (float64(n) * sumAvg * sumAvg))
+	}
+
+	// Eq. 6: stability from each flow's own throughput variation over the
+	// window, averaged across flows.
+	var stabSum float64
+	for i, f := range flows {
+		if avg[i] <= 0 || len(f.TputHistory) == 0 {
+			continue
+		}
+		var ss float64
+		for _, v := range f.TputHistory {
+			d := v - avg[i]
+			ss += d * d
+		}
+		stabSum += math.Sqrt(ss / (float64(len(f.TputHistory)) * avg[i] * avg[i]))
+	}
+	rc.Stab = stabSum / float64(n)
+
+	// Eq. 8 with bounding to (-0.1, 0.1).
+	total := cfg.C0*rc.Thr - cfg.C1*rc.Lat - cfg.C2*rc.Loss - cfg.C3*rc.Fair - cfg.C4*rc.Stab
+	if total > 0.1 {
+		total = 0.1
+	}
+	if total < -0.1 {
+		total = -0.1
+	}
+	rc.Total = total
+	return rc
+}
+
+// FairnessPenalty exposes R_fair alone for the Fig. 4 comparison against
+// the Jain index.
+func FairnessPenalty(avgTputs []float64) float64 {
+	n := len(avgTputs)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range avgTputs {
+		sum += v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range avgTputs {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / (float64(n) * sum * sum))
+}

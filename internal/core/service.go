@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Service is the Astraea inference service of §4: one shared policy serving
+// many senders, collecting requests over a short window and evaluating them
+// as a batch. The paper implements it in C++ over TensorFlow with UNIX/UDP
+// sockets; here the transport is an in-process channel, which preserves the
+// architectural property Fig. 16b measures — one shared service scales
+// sub-linearly with flow count, unlike per-flow inference servers.
+//
+// With BatchWindow == 0 the service degenerates to a synchronous mutex-
+// guarded evaluation, which is what the single-threaded simulator uses; the
+// batching path is exercised by the scalability benchmarks and tests.
+type Service struct {
+	policy Policy
+
+	// BatchWindow is how long the server waits to accumulate a batch
+	// (the paper uses 5 ms); MaxBatch flushes earlier when reached.
+	BatchWindow time.Duration
+	MaxBatch    int
+
+	mu      sync.Mutex
+	pending []inferReq
+	timer   *time.Timer
+	closed  bool
+
+	// Batches and Requests count service activity for tests/benchmarks.
+	Batches  int64
+	Requests int64
+}
+
+type inferReq struct {
+	state []float64
+	resp  chan float64
+}
+
+// NewService wraps policy (nil selects the reference policy for cfg).
+func NewService(cfg Config, policy Policy) *Service {
+	if policy == nil {
+		policy = NewReferencePolicy(cfg)
+	}
+	return &Service{policy: policy, BatchWindow: 5 * time.Millisecond, MaxBatch: 256}
+}
+
+// Infer evaluates one state, possibly batched with concurrent requests.
+func (s *Service) Infer(state []float64) float64 {
+	s.mu.Lock()
+	s.Requests++
+	if s.BatchWindow == 0 || s.closed {
+		// Synchronous path.
+		s.Batches++
+		a := s.policy.Action(state)
+		s.mu.Unlock()
+		return a
+	}
+	req := inferReq{state: state, resp: make(chan float64, 1)}
+	s.pending = append(s.pending, req)
+	if len(s.pending) >= s.MaxBatch {
+		s.flushLocked()
+		s.mu.Unlock()
+		return <-req.resp
+	}
+	if s.timer == nil {
+		s.timer = time.AfterFunc(s.BatchWindow, func() {
+			s.mu.Lock()
+			s.flushLocked()
+			s.mu.Unlock()
+		})
+	}
+	s.mu.Unlock()
+	return <-req.resp
+}
+
+// flushLocked evaluates and answers all pending requests; callers hold mu.
+func (s *Service) flushLocked() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	batch := s.pending
+	s.pending = nil
+	s.Batches++
+	for _, r := range batch {
+		r.resp <- s.policy.Action(r.state)
+	}
+}
+
+// Close flushes outstanding requests and makes further Infer calls
+// synchronous.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.flushLocked()
+}

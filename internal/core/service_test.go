@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type constPolicy struct{ v float64 }
+
+func (p constPolicy) Action([]float64) float64 { return p.v }
+
+func TestServiceSynchronousMode(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{0.5})
+	svc.BatchWindow = 0
+	if got := svc.Infer([]float64{1}); got != 0.5 {
+		t.Fatalf("Infer = %v", got)
+	}
+	if svc.Requests != 1 || svc.Batches != 1 {
+		t.Fatalf("counters %d/%d", svc.Requests, svc.Batches)
+	}
+}
+
+func TestServiceBatchesConcurrentRequests(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{0.25})
+	svc.BatchWindow = 10 * time.Millisecond
+	svc.MaxBatch = 1000
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := svc.Infer([]float64{1}); got != 0.25 {
+				t.Errorf("Infer = %v", got)
+			}
+		}()
+	}
+	wg.Wait()
+	if svc.Requests != n {
+		t.Fatalf("requests %d", svc.Requests)
+	}
+	// The point of batching: far fewer batches than requests.
+	if svc.Batches >= n/2 {
+		t.Fatalf("batches %d for %d requests — batching ineffective", svc.Batches, n)
+	}
+}
+
+func TestServiceMaxBatchFlushesEarly(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{1})
+	svc.BatchWindow = time.Hour // never flush by timer
+	svc.MaxBatch = 4
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Infer([]float64{1})
+		}()
+	}
+	wg.Wait()
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("MaxBatch flush did not trigger")
+	}
+}
+
+func TestServiceClose(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{0.75})
+	svc.Close()
+	// After Close, Infer degrades to synchronous and must not hang.
+	done := make(chan float64, 1)
+	go func() { done <- svc.Infer([]float64{1}) }()
+	select {
+	case v := <-done:
+		if v != 0.75 {
+			t.Fatalf("post-close Infer = %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Infer hung after Close")
+	}
+}
+
+func TestServiceDefaultPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	svc := NewService(cfg, nil)
+	svc.BatchWindow = 0
+	// nil policy selects the reference policy; a no-signal state probes up.
+	if got := svc.Infer(make([]float64, cfg.StateDim())); got != 1 {
+		t.Fatalf("default-policy Infer = %v, want 1", got)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"repro/internal/transport"
+)
+
+// LocalState holds the eight per-MTP features of §3.3, normalized so the
+// agent sees comparable values across network conditions.
+type LocalState struct {
+	TputRatio     float64 // thr / thrmax
+	MaxTput       float64 // thrmax, scaled by TputScale
+	LatRatio      float64 // lat / latmin
+	MinLat        float64 // latmin, scaled by LatScale
+	RelCwnd       float64 // cwnd / (thrmax * latmin), unitless
+	LossRatio     float64 // lost-byte rate / thrmax
+	InflightRatio float64 // pkts in flight / cwnd
+	PacingRatio   float64 // pacing rate / thrmax
+}
+
+// featureCap bounds every normalized ratio feature. Without it, degenerate
+// observations (e.g. no throughput seen yet, so thrmax is meaningless)
+// produce features of arbitrary magnitude, which destabilizes critic
+// training far more than the clamping distorts the policy's view.
+const featureCap = 64.0
+
+func capped(v float64) float64 {
+	if v > featureCap {
+		return featureCap
+	}
+	if v < -featureCap {
+		return -featureCap
+	}
+	return v
+}
+
+// localStateFromMTP derives the feature vector from transport statistics.
+func localStateFromMTP(cfg Config, st transport.MTPStats) LocalState {
+	ls := LocalState{LatRatio: 1}
+	maxT := st.MaxTputBps
+	if maxT <= 0 {
+		// No delivery observed yet: emit a neutral no-signal state rather
+		// than dividing by a fictitious denominator.
+		return ls
+	}
+	ls.TputRatio = capped(st.ThroughputBps / maxT)
+	ls.MaxTput = capped(maxT / cfg.TputScale)
+	if st.MinRTT > 0 && st.AvgRTT > 0 {
+		ls.LatRatio = capped(st.AvgRTT / st.MinRTT)
+	}
+	ls.MinLat = capped(st.MinRTT / cfg.LatScale)
+	cwndBytes := st.CwndPkts * transport.MSS
+	if st.MinRTT > 0 {
+		ls.RelCwnd = capped(cwndBytes * 8 / (maxT * st.MinRTT))
+	}
+	lossBps := float64(st.LostBytes) * 8 / st.Duration
+	ls.LossRatio = capped(lossBps / maxT)
+	if st.CwndPkts > 0 {
+		ls.InflightRatio = capped(float64(st.InflightPkts) / st.CwndPkts)
+	}
+	ls.PacingRatio = capped(st.PacingBps / maxT)
+	return ls
+}
+
+// Vector flattens the state in a fixed feature order.
+func (ls LocalState) Vector() []float64 {
+	return []float64{
+		ls.TputRatio, ls.MaxTput, ls.LatRatio, ls.MinLat,
+		ls.RelCwnd, ls.LossRatio, ls.InflightRatio, ls.PacingRatio,
+	}
+}
+
+// StateBlock stacks the last w local states into the model input,
+// zero-padded before w observations exist.
+type StateBlock struct {
+	cfg  Config
+	hist []LocalState
+}
+
+// NewStateBlock allocates an empty history.
+func NewStateBlock(cfg Config) *StateBlock {
+	return &StateBlock{cfg: cfg}
+}
+
+// Push appends a state, evicting the oldest beyond w.
+func (sb *StateBlock) Push(ls LocalState) {
+	sb.hist = append(sb.hist, ls)
+	if len(sb.hist) > sb.cfg.HistoryLen {
+		sb.hist = sb.hist[1:]
+	}
+}
+
+// Latest returns the most recent local state (zero value when empty).
+func (sb *StateBlock) Latest() LocalState {
+	if len(sb.hist) == 0 {
+		return LocalState{LatRatio: 1}
+	}
+	return sb.hist[len(sb.hist)-1]
+}
+
+// History returns the stored states, oldest first.
+func (sb *StateBlock) History() []LocalState { return sb.hist }
+
+// Input assembles the stacked feature vector, newest frame first,
+// zero-padding missing history.
+func (sb *StateBlock) Input() []float64 {
+	out := make([]float64, 0, sb.cfg.StateDim())
+	for i := len(sb.hist) - 1; i >= 0; i-- {
+		out = append(out, sb.hist[i].Vector()...)
+	}
+	for len(out) < sb.cfg.StateDim() {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// GlobalState mirrors Table 2: aggregated statistics over all active flows
+// plus link ground truth, consumed only by the training-time critic.
+type GlobalState struct {
+	OvrTput   float64 // sum of current throughputs
+	MinTput   float64
+	MaxTput   float64
+	AvgLat    float64
+	MinCwnd   float64
+	MaxCwnd   float64
+	AvgCwnd   float64
+	LossRatio float64
+	NumFlows  int
+
+	BaseOWD   float64 // d0: base one-way delay of the link
+	BufBytes  float64
+	Bandwidth float64 // c: link capacity, bits/sec
+}
+
+// Vector normalizes the global state for the critic: throughputs by the
+// link capacity, latency by base RTT, cwnds by the BDP.
+func (g GlobalState) Vector(cfg Config) []float64 {
+	c := g.Bandwidth
+	if c <= 0 {
+		c = 1
+	}
+	rtt := 2 * g.BaseOWD
+	if rtt <= 0 {
+		rtt = 1
+	}
+	bdpBytes := c / 8 * rtt
+	if bdpBytes <= 0 {
+		bdpBytes = 1
+	}
+	return []float64{
+		g.OvrTput / c,
+		g.MinTput / c,
+		g.MaxTput / c,
+		g.AvgLat / rtt,
+		g.MinCwnd * transport.MSS / bdpBytes,
+		g.MaxCwnd * transport.MSS / bdpBytes,
+		g.AvgCwnd * transport.MSS / bdpBytes,
+		g.LossRatio,
+		float64(g.NumFlows) / 10,
+		g.BaseOWD / cfg.LatScale,
+		g.BufBytes / bdpBytes,
+		c / cfg.TputScale,
+	}
+}

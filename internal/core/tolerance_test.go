@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// driveMode feeds the detector windows of constant latRatio decisions.
+func driveMode(p *ReferencePolicy, latRatio float64, windows int) {
+	for i := 0; i < windows*p.ModeWindow; i++ {
+		p.observeMode(latRatio)
+	}
+}
+
+func TestToleranceReducesDeltaUnderPersistentQueue(t *testing.T) {
+	p := NewReferencePolicy(DefaultConfig())
+	base := p.curDelta
+	driveMode(p, 2.0, 2) // queue never drains: floor 2.0
+	if p.curDelta >= base {
+		t.Fatalf("delta %v did not shrink under persistent queue", p.curDelta)
+	}
+	if p.curDelta < p.MinDelta {
+		t.Fatalf("delta %v below MinDelta %v", p.curDelta, p.MinDelta)
+	}
+}
+
+func TestToleranceRecoversWhenQueueDrains(t *testing.T) {
+	p := NewReferencePolicy(DefaultConfig())
+	driveMode(p, 2.0, 2)
+	reduced := p.curDelta
+	driveMode(p, 1.0, 1) // queue drains each window
+	if p.curDelta != p.Delta {
+		t.Fatalf("delta %v did not recover from %v", p.curDelta, reduced)
+	}
+}
+
+func TestToleranceContinuous(t *testing.T) {
+	// The response must be graded, not a step: a slightly deeper floor
+	// yields a slightly smaller delta.
+	// Floors chosen within the graded region (before the MinDelta clamp).
+	deltas := make([]float64, 0, 4)
+	for _, floor := range []float64{1.18, 1.25, 1.32, 1.40} {
+		p := NewReferencePolicy(DefaultConfig())
+		driveMode(p, floor, 1)
+		deltas = append(deltas, p.curDelta)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] >= deltas[i-1] {
+			t.Fatalf("tolerance not strictly graded: %v", deltas)
+		}
+	}
+}
+
+func TestToleranceSymmetricAcrossIdenticalObservers(t *testing.T) {
+	// Two flows observing the same shared floor must derive identical
+	// deltas — the property that preserves intra-Astraea fairness.
+	a := NewReferencePolicy(DefaultConfig())
+	b := NewReferencePolicy(DefaultConfig())
+	driveMode(a, 1.6, 3)
+	driveMode(b, 1.6, 3)
+	if a.curDelta != b.curDelta {
+		t.Fatalf("identical observations, different deltas: %v vs %v", a.curDelta, b.curDelta)
+	}
+}
+
+func TestToleranceBoundedSpiral(t *testing.T) {
+	// Even an extreme persistent floor must not push delta below MinDelta
+	// (the bound that prevents the multi-bottleneck self-amplification).
+	p := NewReferencePolicy(DefaultConfig())
+	driveMode(p, 50, 10)
+	if p.curDelta != p.MinDelta {
+		t.Fatalf("delta %v, want floor %v", p.curDelta, p.MinDelta)
+	}
+	// MinDelta within 3x of Delta keeps the aggression bounded.
+	if p.Delta/p.MinDelta > 3.5 {
+		t.Fatalf("tolerance range %v too wide; the spiral bound requires ≲3x", p.Delta/p.MinDelta)
+	}
+}
+
+func TestToleranceShiftsActionUpward(t *testing.T) {
+	// With the same observed state, a persistent-queue history must make
+	// the policy more willing to hold rate (higher action) than a fresh
+	// policy — the mechanism that prevents starvation vs Cubic.
+	cfg := DefaultConfig()
+	fresh := NewReferencePolicy(cfg)
+	tolerant := NewReferencePolicy(cfg)
+	state := refState(cfg, 10e6, 100e6, 0.055, 0.030) // deep shared queue, low share
+	for i := 0; i < tolerant.ModeWindow+1; i++ {
+		tolerant.Action(state)
+	}
+	aTolerant := tolerant.Action(state)
+	aFresh := fresh.actionWithDelta(state, fresh.Delta)
+	if !(aTolerant > aFresh) {
+		t.Fatalf("tolerant action %v not above fresh %v", aTolerant, aFresh)
+	}
+	if math.IsNaN(aTolerant) {
+		t.Fatal("NaN action")
+	}
+}

@@ -1,0 +1,147 @@
+package env
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rl"
+)
+
+// ParallelLearner runs several training-environment instances concurrently
+// (Appendix A: the paper's evaluation model is trained with 4 instances
+// sharing the same actor and critic networks). Worker goroutines simulate
+// episodes against snapshots of the current policy and stream transitions
+// back; the learner goroutine owns the replay buffer and the networks and
+// applies the update schedule after each completed episode.
+type ParallelLearner struct {
+	Cfg     core.Config
+	Dist    TrainingDistribution
+	Trainer *rl.Trainer
+	Replay  *rl.ReplayBuffer
+	Workers int
+
+	rng *rand.Rand
+
+	Episodes      int
+	RewardHistory []float64
+}
+
+// NewParallelLearner builds the learner with the given worker count
+// (minimum 1).
+func NewParallelLearner(cfg core.Config, dist TrainingDistribution, seed int64, workers int) *ParallelLearner {
+	if workers < 1 {
+		workers = 1
+	}
+	rlCfg := rl.DefaultConfig(cfg.StateDim(), core.GlobalFeatureDim, 1)
+	rlCfg.Gamma = cfg.Gamma
+	rlCfg.ActorLR = cfg.LearningRate
+	rlCfg.CriticLR = cfg.LearningRate
+	rlCfg.Batch = cfg.BatchSize
+	return &ParallelLearner{
+		Cfg:     cfg,
+		Dist:    dist,
+		Trainer: rl.NewTrainer(rlCfg, seed),
+		Replay:  rl.NewReplayBuffer(200000),
+		Workers: workers,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+type episodeOutcome struct {
+	result      EpisodeResult
+	transitions []rl.Transition
+}
+
+// Train runs the requested number of episodes across the workers and
+// returns the per-episode reward history (completion order).
+func (p *ParallelLearner) Train(episodes int) []float64 {
+	type job struct {
+		cfg  EpisodeConfig
+		seed int64
+		// policy is a snapshot of the actor at dispatch time; each worker
+		// needs its own network because MLP forward passes share scratch
+		// buffers.
+		policy core.Policy
+	}
+	jobs := make(chan job)
+	outcomes := make(chan episodeOutcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				var buf []rl.Transition
+				res := RunEpisode(j.cfg, p.Cfg, j.policy, j.seed, nil,
+					&Exploration{Stddev: 0.1},
+					func(i int, tr rl.Transition) { buf = append(buf, tr) })
+				outcomes <- episodeOutcome{result: res, transitions: buf}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	dispatch := func() job {
+		cfg := p.Dist.Sample(p.rng)
+		if p.rng.Float64() < 0.5 {
+			cfg.PoissonArrivals(p.rng, 2.0)
+		}
+		return job{
+			cfg: cfg, seed: p.rng.Int63(),
+			policy: &core.MLPPolicy{Net: p.Trainer.Actor.Clone()},
+		}
+	}
+
+	// Prime one job per worker, then refill as outcomes come back.
+	outstanding := 0
+	dispatched := 0
+	for ; dispatched < p.Workers && dispatched < episodes; dispatched++ {
+		jobs <- dispatch()
+		outstanding++
+	}
+	for outstanding > 0 {
+		out := <-outcomes
+		outstanding--
+		p.Episodes++
+		p.RewardHistory = append(p.RewardHistory, out.result.AvgReward)
+		for _, tr := range out.transitions {
+			p.Replay.Add(tr)
+		}
+		rounds := int(out.result.durationOr(30) / p.Cfg.ModelUpdateInterval)
+		if rounds < 1 {
+			rounds = 1
+		}
+		for r := 0; r < rounds; r++ {
+			for s := 0; s < p.Cfg.ModelUpdateSteps; s++ {
+				p.Trainer.Update(p.Replay)
+			}
+		}
+		if dispatched < episodes {
+			jobs <- dispatch()
+			dispatched++
+			outstanding++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return p.RewardHistory
+}
+
+// durationOr reports the episode's duration with a fallback for results
+// that never ran.
+func (r EpisodeResult) durationOr(def float64) float64 {
+	if r.Duration > 0 {
+		return r.Duration
+	}
+	return def
+}
+
+// Policy returns the current actor wrapped for deployment.
+func (p *ParallelLearner) Policy() *core.MLPPolicy {
+	return &core.MLPPolicy{Net: p.Trainer.Actor}
+}

@@ -1,0 +1,53 @@
+package env
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParallelLearnerCollectsAndTrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel training loop")
+	}
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 64
+	dist := DefaultTrainingDistribution()
+	dist.MaxFlows = 2
+	dist.EpisodeDuration = 6
+
+	p := NewParallelLearner(cfg, dist, 1, 3)
+	p.Trainer.Cfg.Batch = 64
+	hist := p.Train(6)
+	if len(hist) != 6 {
+		t.Fatalf("history %d entries, want 6", len(hist))
+	}
+	if p.Replay.Len() == 0 {
+		t.Fatal("no experience gathered")
+	}
+	if p.Trainer.LastCriticLoss == 0 {
+		t.Fatal("no updates ran")
+	}
+	// The deployed policy must produce bounded actions.
+	pol := p.Policy()
+	a := pol.Action(make([]float64, cfg.StateDim()))
+	if a < -1 || a > 1 {
+		t.Fatalf("policy action %v", a)
+	}
+}
+
+func TestParallelLearnerSingleWorkerFloor(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 32
+	dist := DefaultTrainingDistribution()
+	dist.MaxFlows = 2
+	dist.EpisodeDuration = 4
+	p := NewParallelLearner(cfg, dist, 2, 0) // clamps to 1 worker
+	if p.Workers != 1 {
+		t.Fatalf("workers %d", p.Workers)
+	}
+	hist := p.Train(2)
+	if len(hist) != 2 {
+		t.Fatalf("history %v", hist)
+	}
+}

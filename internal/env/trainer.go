@@ -1,0 +1,82 @@
+package env
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rl"
+)
+
+// Learner is the centralized trainer of §3.1/§3.4: it owns the shared
+// actor/critic networks, collects experience from episodes run under the
+// current policy (with exploration noise), and performs TD3/MADDPG updates
+// — ModelUpdateSteps gradient steps per ModelUpdateInterval of environment
+// time, mirroring the paper's schedule.
+type Learner struct {
+	Cfg     core.Config
+	Dist    TrainingDistribution
+	Trainer *rl.Trainer
+	Replay  *rl.ReplayBuffer
+
+	rng *rand.Rand
+
+	// Episodes counts completed episodes; RewardHistory records each
+	// episode's average reward for convergence inspection.
+	Episodes      int
+	RewardHistory []float64
+}
+
+// NewLearner builds a learner with fresh networks.
+func NewLearner(cfg core.Config, dist TrainingDistribution, seed int64) *Learner {
+	rlCfg := rl.DefaultConfig(cfg.StateDim(), core.GlobalFeatureDim, 1)
+	rlCfg.Gamma = cfg.Gamma
+	rlCfg.ActorLR = cfg.LearningRate
+	rlCfg.CriticLR = cfg.LearningRate
+	rlCfg.Batch = cfg.BatchSize
+	return &Learner{
+		Cfg:     cfg,
+		Dist:    dist,
+		Trainer: rl.NewTrainer(rlCfg, seed),
+		Replay:  rl.NewReplayBuffer(200000),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Policy returns the current actor wrapped as a deployment policy.
+func (l *Learner) Policy() *core.MLPPolicy {
+	return &core.MLPPolicy{Net: l.Trainer.Actor}
+}
+
+// RunEpisodeAndTrain samples an episode from the training distribution,
+// collects experience under the current policy with exploration, then runs
+// the update schedule (ModelUpdateSteps gradient steps per
+// ModelUpdateInterval of episode time).
+func (l *Learner) RunEpisodeAndTrain() EpisodeResult {
+	epCfg := l.Dist.Sample(l.rng)
+	if l.rng.Float64() < 0.5 {
+		epCfg.PoissonArrivals(l.rng, 2.0)
+	}
+	res := RunEpisode(epCfg, l.Cfg, l.Policy(), l.rng.Int63(), l.Replay,
+		&Exploration{Stddev: 0.1}, nil)
+	l.Episodes++
+	l.RewardHistory = append(l.RewardHistory, res.AvgReward)
+
+	rounds := int(epCfg.Duration / l.Cfg.ModelUpdateInterval)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for s := 0; s < l.Cfg.ModelUpdateSteps; s++ {
+			l.Trainer.Update(l.Replay)
+		}
+	}
+	return res
+}
+
+// Train runs episodes until the given count and returns the reward history.
+func (l *Learner) Train(episodes int) []float64 {
+	for i := 0; i < episodes; i++ {
+		l.RunEpisodeAndTrain()
+	}
+	return l.RewardHistory
+}

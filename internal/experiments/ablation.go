@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// astraeaThreeFlow runs the canonical scenario with custom-built agents.
+func astraeaThreeFlow(o Opts, seed int64, mk func() *core.Agent) (jain, util, stab float64) {
+	interval := o.scale(40.0)
+	flowDur := o.scale(120.0)
+	dur := 2*interval + flowDur
+	res := runner.MustRun(runner.Scenario{
+		Seed: seed, RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1, Duration: dur,
+		Flows: []runner.FlowSpec{
+			{CC: mk(), Start: 0, Duration: flowDur},
+			{CC: mk(), Start: interval, Duration: flowDur},
+			{CC: mk(), Start: 2 * interval, Duration: flowDur},
+		},
+	})
+	jain = metrics.Mean(metrics.JainOverTime(tputSeries(res), 1e6))
+	util = res.Utilization
+	stab = metrics.StdDev(res.Flows[1].Tput.Slice(2*interval+o.scale(10), interval+flowDur)) / 1e6
+	return
+}
+
+// ExpAblationAlpha sweeps the Eq. 3 action coefficient: larger alpha means
+// faster exploitation around the current window but a less stable rate
+// (§3.3's stated trade-off).
+func ExpAblationAlpha(o Opts) *Table {
+	t := &Table{
+		ID:      "ablation-alpha",
+		Title:   "Ablation: action coefficient alpha (Eq. 3 responsiveness/stability trade-off)",
+		Columns: []string{"alpha", "jain", "utilization", "stability_mbps", "conv_time_s"},
+	}
+	for _, alpha := range []float64{0.01, 0.025, 0.05, 0.1, 0.2} {
+		var jainS, utilS, stabS, convS float64
+		convN := 0
+		for trial := 0; trial < o.trials(); trial++ {
+			cfg := core.DefaultConfig()
+			cfg.Alpha = alpha
+			mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
+			j, u, st := astraeaThreeFlow(o, int64(3000+trial), mk)
+			jainS += j
+			utilS += u
+			stabS += st
+			// Convergence of the second flow.
+			interval := o.scale(40.0)
+			flowDur := o.scale(120.0)
+			res := runner.MustRun(runner.Scenario{
+				Seed: int64(3100 + trial), RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1,
+				Duration: interval + flowDur,
+				Flows: []runner.FlowSpec{
+					{CC: mk(), Start: 0, Duration: flowDur + interval},
+					{CC: mk(), Start: interval, Duration: flowDur},
+				},
+			})
+			sm := metrics.Smooth(res.Flows[1].Tput, 1.0)
+			if ct := metrics.ConvergenceTime(sm, interval, 50e6, 0.10, 0.5); ct >= 0 {
+				convS += ct
+				convN++
+			}
+		}
+		n := float64(o.trials())
+		conv := "never"
+		if convN > 0 {
+			conv = f2(convS / float64(convN))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", alpha), f3(jainS / n), f3(utilS / n), f2(stabS / n), conv,
+		})
+	}
+	t.Note = "expected: small alpha converges slowly; large alpha destabilizes (higher stddev)"
+	return t
+}
+
+// ExpAblationDrain toggles the agent's periodic queue-drain windows, the
+// deployment mechanism that refreshes every flow's base-RTT estimate.
+// Without it, late-arriving flows keep a biased minRTT and fairness caps
+// out well below optimal.
+func ExpAblationDrain(o Opts) *Table {
+	t := &Table{
+		ID:      "ablation-drain",
+		Title:   "Ablation: periodic queue-drain windows (minRTT refresh)",
+		Columns: []string{"variant", "jain", "utilization", "stability_mbps"},
+	}
+	variants := []struct {
+		name   string
+		period int
+	}{
+		{"drain-on", 64},
+		{"drain-off", 0},
+	}
+	for _, v := range variants {
+		var jainS, utilS, stabS float64
+		for trial := 0; trial < o.trials(); trial++ {
+			cfg := core.DefaultConfig()
+			mk := func() *core.Agent {
+				a := core.NewAgent(cfg, nil)
+				a.DrainPeriod = v.period
+				return a
+			}
+			j, u, st := astraeaThreeFlow(o, int64(3200+trial), mk)
+			jainS += j
+			utilS += u
+			stabS += st
+		}
+		n := float64(o.trials())
+		t.Rows = append(t.Rows, []string{v.name, f3(jainS / n), f3(utilS / n), f2(stabS / n)})
+	}
+	t.Note = "expected: drain-off trades a few points of Jain for marginally smoother throughput"
+	return t
+}
+
+// ExpAblationHistory sweeps w, the stacked-history length of the state
+// block. The reference policy reads only the newest frame, so behavioural
+// differences here bound how much the history window costs/buys; the table
+// also reports the induced state dimension the network must digest.
+func ExpAblationHistory(o Opts) *Table {
+	t := &Table{
+		ID:      "ablation-history",
+		Title:   "Ablation: state history length w",
+		Columns: []string{"w", "state_dim", "jain", "utilization"},
+	}
+	for _, w := range []int{1, 3, 5, 10} {
+		var jainS, utilS float64
+		for trial := 0; trial < o.trials(); trial++ {
+			cfg := core.DefaultConfig()
+			cfg.HistoryLen = w
+			mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
+			j, u, _ := astraeaThreeFlow(o, int64(3300+trial), mk)
+			jainS += j
+			utilS += u
+		}
+		n := float64(o.trials())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), fmt.Sprint(w * core.LocalFeatureDim),
+			f3(jainS / n), f3(utilS / n),
+		})
+	}
+	return t
+}

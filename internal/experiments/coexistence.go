@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"repro/internal/runner"
+)
+
+// ExpCoexistenceMatrix extends the paper's TCP-friendliness study to every
+// scheme pair: entry (row, col) is the bandwidth share the row scheme
+// obtains when one row-flow and one col-flow share a 100 Mbps / 30 ms /
+// 1 BDP bottleneck (0.5 = perfectly fair coexistence). It generalizes
+// Fig. 14's Cubic column and makes cross-scheme aggression visible at a
+// glance.
+func ExpCoexistenceMatrix(o Opts) *Table {
+	schemes := []string{"cubic", "vegas", "bbr", "copa", "vivace", "orca", "astraea"}
+	t := &Table{
+		ID:      "coexistence",
+		Title:   "Pairwise coexistence: row scheme's bandwidth share vs column scheme",
+		Columns: append([]string{"scheme"}, schemes...),
+	}
+	dur := o.scale(60.0)
+	for _, row := range schemes {
+		cells := []string{row}
+		for _, col := range schemes {
+			var shareSum float64
+			for trial := 0; trial < o.trials(); trial++ {
+				res := runner.MustRun(runner.Scenario{
+					Seed: int64(2600 + trial), RateBps: 100e6, BaseRTT: 0.030,
+					QueueBDP: 1, Duration: dur,
+					Flows: []runner.FlowSpec{
+						{Scheme: row},
+						{Scheme: col},
+					},
+				})
+				a := res.Flows[0].AvgTputWindow(dur/4, dur)
+				b := res.Flows[1].AvgTputWindow(dur/4, dur)
+				if a+b > 0 {
+					shareSum += a / (a + b)
+				} else {
+					shareSum += 0.5
+				}
+			}
+			cells = append(cells, f2(shareSum/float64(o.trials())))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Note = "0.50 = fair share; diagonal = intra-scheme fairness; row > 0.5 means the row scheme dominates the column scheme"
+	return t
+}

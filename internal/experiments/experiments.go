@@ -1,0 +1,139 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2 motivation, §5 evaluation, Appendices A–B). Each ExpFigure
+// / ExpTable function runs the corresponding workload on the emulation
+// substrate and returns structured rows; cmd/figures renders them and the
+// repository-root benchmarks wrap them for `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/transport"
+)
+
+// newSchemeInstance instantiates a registered scheme for experiments that
+// wire flows manually (multi-bottleneck topology).
+func newSchemeInstance(name string) (transport.CongestionControl, error) {
+	return cc.New(name)
+}
+
+// Opts scales experiment cost. Full reproduces the paper's trial counts and
+// durations; Quick shrinks both for CI and benchmarks.
+type Opts struct {
+	Trials int
+	// TimeScale multiplies scenario durations (1.0 = paper's).
+	TimeScale float64
+}
+
+// Quick returns CI-friendly settings.
+func Quick() Opts { return Opts{Trials: 2, TimeScale: 0.35} }
+
+// Full returns paper-faithful settings.
+func Full() Opts { return Opts{Trials: 10, TimeScale: 1.0} }
+
+func (o Opts) trials() int {
+	if o.Trials <= 0 {
+		return 1
+	}
+	return o.Trials
+}
+
+func (o Opts) scale(d float64) float64 {
+	if o.TimeScale <= 0 {
+		return d
+	}
+	return d * o.TimeScale
+}
+
+// Schemes evaluated across the comparison figures, in presentation order.
+var Schemes = []string{"cubic", "vegas", "bbr", "copa", "remy", "aurora", "vivace", "orca", "astraea"}
+
+// Table is a rendered result: a titled grid of formatted cells.
+type Table struct {
+	ID      string // e.g. "fig6"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// mbps formats bits/sec as Mbps.
+func mbps(v float64) string { return fmt.Sprintf("%.1f", v/1e6) }
+
+// staggeredFlows builds the canonical Fig. 6 workload: n flows of scheme,
+// started every interval seconds, each running for dur seconds.
+func staggeredFlows(scheme string, n int, interval, dur float64) []runner.FlowSpec {
+	specs := make([]runner.FlowSpec, n)
+	for i := range specs {
+		specs[i] = runner.FlowSpec{
+			Scheme:   scheme,
+			Start:    float64(i) * interval,
+			Duration: dur,
+		}
+	}
+	return specs
+}
+
+// tputSeries extracts the per-flow throughput series of a result.
+func tputSeries(res *runner.Result) []*metrics.Timeseries {
+	out := make([]*metrics.Timeseries, len(res.Flows))
+	for i, fr := range res.Flows {
+		out[i] = fr.Tput
+	}
+	return out
+}

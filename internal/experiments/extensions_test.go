@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// Permanent quick-scale assertions for the extension experiments.
+
+func TestParkingLotProportionalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hop scenarios")
+	}
+	tb := ExpParkingLot(Opts{Trials: 1, TimeScale: 0.4})
+	// k=1 must be near the fair 25 Mbps; the long flow's share must
+	// decrease strictly with hop count and stay above half the
+	// proportional-fair floor.
+	long1 := cellF(t, tb, 0, "long_mbps")
+	if long1 < 20 {
+		t.Fatalf("k=1 long flow %.1f Mbps, want ≈25", long1)
+	}
+	prev := long1 + 1
+	for r := range tb.Rows {
+		long := cellF(t, tb, r, "long_mbps")
+		if long >= prev {
+			t.Fatalf("long-flow share not decreasing with hops: row %d", r)
+		}
+		prev = long
+		k := float64(r + 1)
+		propFair := 50 / (k + 1)
+		if long < propFair*0.5 {
+			t.Fatalf("k=%d long flow %.1f below half of proportional-fair %.1f", r+1, long, propFair)
+		}
+	}
+}
+
+func TestCoexistenceDiagonalFair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairwise matrix")
+	}
+	// A cheap diagonal-only check: astraea and copa against themselves must
+	// sit near 0.50 (the full matrix runs in BenchmarkCoexistence).
+	for _, scheme := range []string{"astraea", "copa"} {
+		share := pairShare(t, scheme, scheme)
+		if share < 0.40 || share > 0.60 {
+			t.Errorf("%s self-coexistence share %.2f, want ≈0.50", scheme, share)
+		}
+	}
+	// And the aggression ordering: bbr must dominate astraea, astraea must
+	// not dominate cubic.
+	if s := pairShare(t, "bbr", "astraea"); s < 0.7 {
+		t.Errorf("bbr share vs astraea %.2f; bbr should dominate", s)
+	}
+	if s := pairShare(t, "astraea", "cubic"); s > 0.5 {
+		t.Errorf("astraea share vs cubic %.2f; astraea should not dominate cubic", s)
+	}
+}
+
+func pairShare(t *testing.T, row, col string) float64 {
+	t.Helper()
+	const dur = 30.0
+	res := runner.MustRun(runner.Scenario{
+		Seed: 2601, RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1, Duration: dur,
+		Flows: []runner.FlowSpec{{Scheme: row}, {Scheme: col}},
+	})
+	a := res.Flows[0].AvgTputWindow(dur/4, dur)
+	b := res.Flows[1].AvgTputWindow(dur/4, dur)
+	if a+b == 0 {
+		return 0.5
+	}
+	return a / (a + b)
+}
+
+func TestFigure10LargeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundreds of flows")
+	}
+	// Large crowds need a few drain cycles (~2 s each) to converge, so the
+	// duration cannot be scaled down as far as other quick tests.
+	tb := ExpFigure10Large(Opts{Trials: 1, TimeScale: 0.6})
+	if j := cellF(t, tb, 0, "jain"); j < 0.75 {
+		t.Errorf("100-flow Jain %.3f", j)
+	}
+	for r := range tb.Rows {
+		if u := cellF(t, tb, r, "utilization"); u < 0.9 {
+			t.Errorf("row %d utilization %.3f", r, u)
+		}
+	}
+}

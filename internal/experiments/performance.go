@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// ExpFigure14 reproduces the TCP-friendliness experiment: one evaluated
+// flow competing with 1..4 Cubic flows on 100 Mbps / 30 ms / 1 BDP; the
+// metric is the evaluated flow's throughput over the mean Cubic throughput
+// (1.0 = perfectly friendly).
+func ExpFigure14(o Opts) *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "TCP friendliness: throughput ratio to competing Cubic flows",
+		Columns: []string{"scheme", "vs1_cubic", "vs2_cubic", "vs3_cubic", "vs4_cubic"},
+	}
+	dur := o.scale(60.0)
+	for _, scheme := range Schemes {
+		if scheme == "cubic" {
+			continue
+		}
+		row := []string{scheme}
+		for n := 1; n <= 4; n++ {
+			var ratioSum float64
+			for trial := 0; trial < o.trials(); trial++ {
+				flows := []runner.FlowSpec{{Scheme: scheme}}
+				for i := 0; i < n; i++ {
+					flows = append(flows, runner.FlowSpec{Scheme: "cubic"})
+				}
+				res := runner.MustRun(runner.Scenario{
+					Seed: int64(1400 + trial*10 + n), RateBps: 100e6, BaseRTT: 0.030,
+					QueueBDP: 1, Duration: dur,
+					Flows: flows,
+				})
+				eval := res.Flows[0].AvgTputWindow(dur/4, dur)
+				var cubicSum float64
+				for _, fr := range res.Flows[1:] {
+					cubicSum += fr.AvgTputWindow(dur/4, dur)
+				}
+				cubicAvg := cubicSum / float64(n)
+				if cubicAvg > 0 {
+					ratioSum += eval / cubicAvg
+				} else {
+					ratioSum += 100
+				}
+			}
+			row = append(row, f2(ratioSum/float64(o.trials())))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Note = "paper: Aurora/BBR 10-60x (hostile); Vivace/Vegas < 1 (starved); Astraea acceptable, above delay-based but far below BBR/Aurora"
+	return t
+}
+
+// ExpFigure15 substitutes for the wild-Internet deployment: emulated WAN
+// paths with stochastic cross-traffic and jitter, one short-RTT
+// (intra-continental) and one long-RTT (inter-continental) class. Reported
+// as overall average throughput vs one-way delay.
+func ExpFigure15(o Opts) []*Table {
+	classes := []struct {
+		id, title string
+		rtt       float64
+		rate      float64
+		crossBps  float64
+	}{
+		{"fig15a", "Intra-continental WAN (emulated, 30 ms, cross-traffic)", 0.030, 500e6, 150e6},
+		{"fig15b", "Inter-continental WAN (emulated, 150 ms, cross-traffic)", 0.150, 1000e6, 200e6},
+	}
+	dur := o.scale(60.0)
+	var tables []*Table
+	for _, cl := range classes {
+		t := &Table{
+			ID:      cl.id,
+			Title:   cl.title,
+			Columns: []string{"scheme", "tput_mbps", "owd_ms", "loss"},
+		}
+		for _, scheme := range Schemes {
+			var tputSum, owdSum, lossSum float64
+			for trial := 0; trial < o.trials(); trial++ {
+				res := runner.MustRun(runner.Scenario{
+					Seed: int64(1500 + trial), RateBps: cl.rate, BaseRTT: cl.rtt,
+					QueueBDP: 2, Duration: dur,
+					CrossBps: cl.crossBps, Jitter: 0.001,
+					Flows: []runner.FlowSpec{{Scheme: scheme}},
+				})
+				fr := res.Flows[0]
+				tputSum += fr.AvgTputBps
+				owdSum += fr.AvgRTT / 2
+				lossSum += fr.LossRate
+			}
+			n := float64(o.trials())
+			t.Rows = append(t.Rows, []string{
+				scheme, mbps(tputSum / n), f1(owdSum / n * 1000), f4(lossSum / n),
+			})
+		}
+		t.Note = "paper: Astraea defines the high-throughput/low-delay frontier; BBR highest throughput with inflated delay; Remy/Aurora/Orca underutilize"
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// ExpFigure19 reproduces the buffer-size sweep (Appendix B.1): 100 Mbps,
+// 30 ms, buffers from 0.1 to 16 BDP; throughput, latency inflation and loss
+// per scheme.
+func ExpFigure19(o Opts) []*Table {
+	bufs := []float64{0.1, 0.5, 1, 2, 4, 8, 16}
+	mk := func(id, title string) *Table {
+		cols := []string{"scheme"}
+		for _, b := range bufs {
+			cols = append(cols, fmt.Sprintf("buf%g", b))
+		}
+		return &Table{ID: id, Title: title, Columns: cols}
+	}
+	tThr := mk("fig19a", "Normalized throughput vs buffer size (x BDP)")
+	tLat := mk("fig19b", "Latency inflation (avgRTT/baseRTT) vs buffer size")
+	tLoss := mk("fig19c", "Loss rate vs buffer size")
+
+	dur := o.scale(40.0)
+	for _, scheme := range Schemes {
+		rowT := []string{scheme}
+		rowL := []string{scheme}
+		rowX := []string{scheme}
+		for _, b := range bufs {
+			var uSum, lSum, xSum float64
+			for trial := 0; trial < o.trials(); trial++ {
+				res := runner.MustRun(runner.Scenario{
+					Seed: int64(1900 + trial), RateBps: 100e6, BaseRTT: 0.030,
+					QueueBDP: b, Duration: dur,
+					Flows: []runner.FlowSpec{{Scheme: scheme}},
+				})
+				fr := res.Flows[0]
+				uSum += res.Utilization
+				if fr.AvgRTT > 0 {
+					lSum += fr.AvgRTT / 0.030
+				}
+				xSum += fr.LossRate
+			}
+			n := float64(o.trials())
+			rowT = append(rowT, f3(uSum/n))
+			rowL = append(rowL, f2(lSum/n))
+			rowX = append(rowX, f4(xSum/n))
+		}
+		tThr.Rows = append(tThr.Rows, rowT)
+		tLat.Rows = append(tLat.Rows, rowL)
+		tLoss.Rows = append(tLoss.Rows, rowX)
+	}
+	tThr.Note = "paper: Astraea near-full utilization from 0.1 BDP; Orca needs ≥0.8 BDP"
+	tLat.Note = "paper: BBR/Aurora inflate latency with buffer depth; Astraea stays low"
+	tLoss.Note = "paper: Astraea near-lossless from 0.1 BDP"
+	return []*Table{tThr, tLat, tLoss}
+}
+
+// ExpFigure20 reproduces the satellite-link experiment (Appendix B.2):
+// 42 Mbps, 800 ms RTT, 1 BDP, 0.74% stochastic loss.
+func ExpFigure20(o Opts) *Table {
+	t := &Table{
+		ID:      "fig20",
+		Title:   "Satellite link (42 Mbps, 800 ms, 0.74% random loss)",
+		Columns: []string{"scheme", "tput_mbps", "norm_delay", "loss"},
+	}
+	dur := o.scale(100.0)
+	for _, scheme := range Schemes {
+		var tputSum, delaySum, lossSum float64
+		for trial := 0; trial < o.trials(); trial++ {
+			res := runner.MustRun(runner.Scenario{
+				Seed: int64(2000 + trial), RateBps: 42e6, BaseRTT: 0.800,
+				QueueBDP: 1, LossProb: 0.0074, Duration: dur,
+				Flows: []runner.FlowSpec{{Scheme: scheme}},
+			})
+			fr := res.Flows[0]
+			tputSum += fr.AvgTputBps
+			delaySum += fr.AvgRTT / 0.800
+			lossSum += fr.LossRate
+		}
+		n := float64(o.trials())
+		t.Rows = append(t.Rows, []string{
+			scheme, mbps(tputSum / n), f2(delaySum / n), f4(lossSum / n),
+		})
+	}
+	t.Note = "paper: loss-reactive Cubic/Vegas/Orca collapse; Vivace/Copa/Aurora ignore loss and win throughput; Astraea moderate throughput, low delay"
+	return t
+}
+
+// ExpFigure22 reproduces the 10 Gbps WAN experiment (Appendix B.4):
+// 10 Gbps, 10 ms base RTT.
+func ExpFigure22(o Opts) *Table {
+	t := &Table{
+		ID:      "fig22",
+		Title:   "High-speed WAN (10 Gbps, 10 ms)",
+		Columns: []string{"scheme", "tput_mbps", "avg_rtt_ms"},
+	}
+	dur := o.scale(20.0)
+	for _, scheme := range Schemes {
+		res := runner.MustRun(runner.Scenario{
+			Seed: 22, RateBps: 10e9, BaseRTT: 0.010,
+			QueueBDP: 1, Duration: dur,
+			Flows: []runner.FlowSpec{{Scheme: scheme}},
+		})
+		fr := res.Flows[0]
+		t.Rows = append(t.Rows, []string{scheme, mbps(fr.AvgTputBps), f2(fr.AvgRTT * 1000)})
+	}
+	t.Note = "paper: Astraea outruns Orca and Vivace via fast convergence to link bandwidth, with low latency"
+	return t
+}

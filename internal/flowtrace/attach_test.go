@@ -1,0 +1,64 @@
+package flowtrace
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestAttachRecordsFlowEvents(t *testing.T) {
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{
+		RateBps: 20e6, BaseRTT: 0.030, QueueBytes: 6 * transport.MSS,
+	})
+	f := transport.NewFlow(s, transport.FlowConfig{ID: 3, Path: d.FlowPath(0), CC: cc.MustNew("cubic")})
+	tr := &Tracer{}
+	Attach(tr, f)
+	f.Start()
+	s.Run(10)
+
+	cwnds := tr.Filter(3, KindCwnd)
+	if len(cwnds) == 0 {
+		t.Fatal("no cwnd events recorded")
+	}
+	losses := tr.Filter(3, KindLoss)
+	if len(losses) == 0 {
+		t.Fatal("no loss events recorded on a 6-packet buffer")
+	}
+	// Loss events must coincide with window reductions: for each loss, the
+	// next cwnd sample should eventually be lower than the previous peak.
+	firstLoss := losses[0].At
+	var before, after float64
+	for _, e := range cwnds {
+		if e.At < firstLoss {
+			before = e.Value
+		}
+		if e.At >= firstLoss && after == 0 {
+			after = e.Value
+		}
+	}
+	if after >= before {
+		t.Fatalf("cwnd did not drop across the first loss: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestAttachChainsExistingHooks(t *testing.T) {
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{RateBps: 20e6, BaseRTT: 0.030, QueueBytes: 1 << 20})
+	f := transport.NewFlow(s, transport.FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc.MustNew("cubic")})
+	prior := 0
+	f.OnCwndHook = func(now, cwnd float64) { prior++ }
+	tr := &Tracer{}
+	Attach(tr, f)
+	f.Start()
+	s.Run(2)
+	if prior == 0 {
+		t.Fatal("pre-existing hook was not chained")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+}

@@ -1,0 +1,103 @@
+package flowtrace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSort(t *testing.T) {
+	tr := &Tracer{}
+	tr.Record(Event{At: 2, FlowID: 0, Kind: KindCwnd, Value: 20})
+	tr.Record(Event{At: 1, FlowID: 0, Kind: KindCwnd, Value: 10})
+	tr.Record(Event{At: 3, FlowID: 1, Kind: KindLoss, Value: 1500})
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len %d", len(evs))
+	}
+	if evs[0].At != 1 || evs[1].At != 2 || evs[2].At != 3 {
+		t.Fatalf("not sorted: %+v", evs)
+	}
+}
+
+func TestFilterAndSeries(t *testing.T) {
+	tr := &Tracer{}
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{At: float64(i), FlowID: i % 2, Kind: KindCwnd, Value: float64(i * 10)})
+	}
+	flow0 := tr.Filter(0, KindCwnd)
+	if len(flow0) != 3 {
+		t.Fatalf("flow0 events %d", len(flow0))
+	}
+	times, values := tr.Series(1, KindCwnd)
+	if len(times) != 2 || values[0] != 10 || values[1] != 30 {
+		t.Fatalf("series %v %v", times, values)
+	}
+}
+
+func TestCapDropsAndCounts(t *testing.T) {
+	tr := &Tracer{Cap: 2}
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{At: float64(i)})
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if tr.Dropped != 3 {
+		t.Fatalf("dropped %d", tr.Dropped)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := &Tracer{}
+	tr.Record(Event{At: 0.5, FlowID: 1, Kind: KindPacing, Value: 1e6, Label: "a,b"})
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "time_s,flow,kind,value,label\n") {
+		t.Fatalf("header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "0.500000,1,pacing,1e+06,a;b") {
+		t.Fatalf("row malformed:\n%s", got)
+	}
+}
+
+func TestRecordf(t *testing.T) {
+	tr := &Tracer{}
+	tr.Recordf(1, 2, 3.5, "mode=%s", "competitive")
+	evs := tr.Events()
+	if evs[0].Kind != KindCustom || evs[0].Label != "mode=competitive" {
+		t.Fatalf("%+v", evs[0])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := &Tracer{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(Event{At: float64(i), FlowID: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCwnd: "cwnd", KindPacing: "pacing", KindLoss: "loss",
+		KindMTP: "mtp", KindCustom: "custom", Kind(99): "kind(99)",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

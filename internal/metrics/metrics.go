@@ -1,0 +1,226 @@
+// Package metrics computes the evaluation quantities the paper reports:
+// Jain's fairness index, convergence time (time to reach ±10% of the ideal
+// fair share), post-convergence stability (throughput standard deviation),
+// link utilization, and CDF/percentile helpers.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Jain computes Jain's fairness index of the given allocations:
+// (sum x)^2 / (n * sum x^2). It is 1 for equal shares and 1/n when one
+// participant takes everything. Zero-only inputs return 1 (no contention).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF returns (sorted values, cumulative fractions) suitable for plotting.
+func CDF(xs []float64) (vals, fracs []float64) {
+	vals = append([]float64(nil), xs...)
+	sort.Float64s(vals)
+	fracs = make([]float64, len(vals))
+	for i := range vals {
+		fracs[i] = float64(i+1) / float64(len(vals))
+	}
+	return vals, fracs
+}
+
+// Timeseries is a regularly-sampled scalar signal.
+type Timeseries struct {
+	Interval float64 // seconds between samples
+	Start    float64
+	Values   []float64
+}
+
+// At returns the sample covering time t (0 outside the series).
+func (ts *Timeseries) At(t float64) float64 {
+	i := int((t - ts.Start) / ts.Interval)
+	if i < 0 || i >= len(ts.Values) {
+		return 0
+	}
+	return ts.Values[i]
+}
+
+// Slice returns the samples within [from, to).
+func (ts *Timeseries) Slice(from, to float64) []float64 {
+	lo := int(math.Ceil((from - ts.Start) / ts.Interval))
+	hi := int((to - ts.Start) / ts.Interval)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ts.Values) {
+		hi = len(ts.Values)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return ts.Values[lo:hi]
+}
+
+// Times returns the timestamp of each sample.
+func (ts *Timeseries) Times() []float64 {
+	out := make([]float64, len(ts.Values))
+	for i := range out {
+		out[i] = ts.Start + float64(i)*ts.Interval
+	}
+	return out
+}
+
+// Smooth returns a centered moving average of the series with the given
+// window in seconds (at least one sample). Used before convergence
+// detection so sawtooth schemes are judged on their average rate, as the
+// paper does.
+func Smooth(ts *Timeseries, window float64) *Timeseries {
+	k := int(window / ts.Interval)
+	if k < 1 {
+		k = 1
+	}
+	half := k / 2
+	out := &Timeseries{Interval: ts.Interval, Start: ts.Start, Values: make([]float64, len(ts.Values))}
+	for i := range ts.Values {
+		lo := i - half
+		hi := i + half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ts.Values) {
+			hi = len(ts.Values) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += ts.Values[j]
+		}
+		out.Values[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// ConvergenceTime measures how long after eventTime the series stays within
+// tolerance (fractional, e.g. 0.1) of target for at least holdFor seconds.
+// It returns the delay from eventTime to the start of the first such
+// window, or -1 if the series never converges before the end.
+func ConvergenceTime(ts *Timeseries, eventTime, target, tolerance, holdFor float64) float64 {
+	if target <= 0 {
+		return -1
+	}
+	hold := int(holdFor / ts.Interval)
+	if hold < 1 {
+		hold = 1
+	}
+	startIdx := int(math.Ceil((eventTime - ts.Start) / ts.Interval))
+	if startIdx < 0 {
+		startIdx = 0
+	}
+	run := 0
+	for i := startIdx; i < len(ts.Values); i++ {
+		if math.Abs(ts.Values[i]-target) <= tolerance*target {
+			run++
+			if run >= hold {
+				t := ts.Start + float64(i-run+1)*ts.Interval
+				return t - eventTime
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// StabilityAfterConvergence returns the standard deviation of the series
+// between convergence (per ConvergenceTime) and endTime, or -1 if it never
+// converged.
+func StabilityAfterConvergence(ts *Timeseries, eventTime, target, tolerance, holdFor, endTime float64) float64 {
+	ct := ConvergenceTime(ts, eventTime, target, tolerance, holdFor)
+	if ct < 0 {
+		return -1
+	}
+	vals := ts.Slice(eventTime+ct, endTime)
+	if len(vals) < 2 {
+		return -1
+	}
+	return StdDev(vals)
+}
+
+// JainOverTime computes the Jain index at each sample where at least two of
+// the flows are active (value > activeEps), as the paper does for Fig. 7.
+func JainOverTime(series []*Timeseries, activeEps float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0].Values)
+	var out []float64
+	for i := 0; i < n; i++ {
+		var active []float64
+		for _, ts := range series {
+			if i < len(ts.Values) && ts.Values[i] > activeEps {
+				active = append(active, ts.Values[i])
+			}
+		}
+		if len(active) >= 2 {
+			out = append(out, Jain(active))
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainKnownValues(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{50, 50}, 1},
+		{[]float64{1, 0}, 0.5},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+// Property: Jain ∈ [1/n, 1], scale-invariant, maximized at equality.
+func TestJainProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		allZero := true
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			return Jain(xs) == 1
+		}
+		j := Jain(xs)
+		n := float64(len(xs))
+		if j < 1/n-1e-12 || j > 1+1e-12 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3.7
+		}
+		return math.Abs(Jain(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+	if StdDev([]float64{1}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate StdDev should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {75, 40}, {-5, 10}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals, fracs := CDF([]float64{3, 1, 2})
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("CDF vals %v", vals)
+	}
+	if fracs[2] != 1 {
+		t.Fatalf("last CDF frac %v", fracs[2])
+	}
+}
+
+func seriesOf(interval float64, vals ...float64) *Timeseries {
+	return &Timeseries{Interval: interval, Values: vals}
+}
+
+func TestTimeseriesAtAndSlice(t *testing.T) {
+	ts := seriesOf(1, 10, 20, 30, 40)
+	if ts.At(-1) != 0 || ts.At(100) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+	if ts.At(2.5) != 30 {
+		t.Fatalf("At(2.5) = %v", ts.At(2.5))
+	}
+	sl := ts.Slice(1, 3)
+	if len(sl) != 2 || sl[0] != 20 || sl[1] != 30 {
+		t.Fatalf("Slice(1,3) = %v", sl)
+	}
+	if ts.Slice(3, 1) != nil {
+		t.Fatal("inverted Slice should be nil")
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	// Ramps to 50 at t=5, stays.
+	vals := make([]float64, 20)
+	for i := range vals {
+		if i >= 5 {
+			vals[i] = 50
+		} else {
+			vals[i] = float64(i) * 10
+		}
+	}
+	ts := seriesOf(1, vals...)
+	ct := ConvergenceTime(ts, 0, 50, 0.1, 2)
+	if math.Abs(ct-5) > 1e-9 {
+		t.Fatalf("ConvergenceTime = %v, want 5", ct)
+	}
+	// Relative to a later event.
+	ct = ConvergenceTime(ts, 3, 50, 0.1, 2)
+	if math.Abs(ct-2) > 1e-9 {
+		t.Fatalf("ConvergenceTime from t=3 = %v, want 2", ct)
+	}
+}
+
+func TestConvergenceNeverReached(t *testing.T) {
+	ts := seriesOf(1, 10, 10, 10, 10)
+	if ct := ConvergenceTime(ts, 0, 100, 0.1, 1); ct != -1 {
+		t.Fatalf("want -1, got %v", ct)
+	}
+	if ct := ConvergenceTime(ts, 0, 0, 0.1, 1); ct != -1 {
+		t.Fatal("zero target must return -1")
+	}
+}
+
+func TestConvergenceRequiresHold(t *testing.T) {
+	// Touches the target briefly at t=2 but only holds from t=6.
+	ts := seriesOf(1, 0, 0, 50, 0, 0, 0, 50, 50, 50, 50)
+	ct := ConvergenceTime(ts, 0, 50, 0.1, 3)
+	if math.Abs(ct-6) > 1e-9 {
+		t.Fatalf("ConvergenceTime = %v, want 6 (hold required)", ct)
+	}
+}
+
+func TestStabilityAfterConvergence(t *testing.T) {
+	vals := []float64{0, 0, 50, 50, 50, 50, 50, 50}
+	ts := seriesOf(1, vals...)
+	st := StabilityAfterConvergence(ts, 0, 50, 0.1, 2, 8)
+	if st != 0 {
+		t.Fatalf("flat series stability %v, want 0", st)
+	}
+	if st := StabilityAfterConvergence(seriesOf(1, 0, 0, 0), 0, 50, 0.1, 1, 3); st != -1 {
+		t.Fatalf("unconverged stability %v, want -1", st)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	ts := seriesOf(1, 0, 100, 0, 100, 0, 100)
+	sm := Smooth(ts, 2)
+	for i := 1; i < len(sm.Values)-1; i++ {
+		if sm.Values[i] < 20 || sm.Values[i] > 80 {
+			t.Fatalf("smoothed[%d] = %v, want damped toward 50", i, sm.Values[i])
+		}
+	}
+	// Smoothing preserves the mean approximately.
+	if math.Abs(Mean(sm.Values)-Mean(ts.Values)) > 10 {
+		t.Fatal("smoothing shifted the mean")
+	}
+}
+
+func TestJainOverTime(t *testing.T) {
+	a := seriesOf(1, 50, 50, 0, 100)
+	b := seriesOf(1, 50, 25, 0, 0)
+	jains := JainOverTime([]*Timeseries{a, b}, 1)
+	// t0: equal → 1; t1: 50/25 → <1; t2: none active; t3: only one active.
+	if len(jains) != 2 {
+		t.Fatalf("JainOverTime returned %d points, want 2", len(jains))
+	}
+	if jains[0] != 1 {
+		t.Fatalf("first Jain %v", jains[0])
+	}
+	if jains[1] >= 1 {
+		t.Fatalf("unequal Jain %v should be < 1", jains[1])
+	}
+}
+
+func TestTimes(t *testing.T) {
+	ts := &Timeseries{Interval: 0.5, Start: 1, Values: []float64{1, 2, 3}}
+	times := ts.Times()
+	want := []float64{1, 1.5, 2}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("Times() = %v", times)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package netem
+
+import (
+	"math"
+)
+
+// QueueDiscipline lets the link delegate drop/admit decisions, implementing
+// the "user-defined queuing policies" the paper's emulated link supports
+// (§3.2). DropTail is the default; RED and CoDel are provided.
+type QueueDiscipline interface {
+	// Admit decides whether an arriving packet may enqueue given the
+	// current queue occupancy in bytes and the configured limit.
+	Admit(now float64, qBytes, limitBytes int, p *Packet) bool
+	// OnDequeue observes a packet leaving the queue after sojourn seconds;
+	// it returns true if the packet should be dropped at dequeue (CoDel
+	// semantics). Droppers that only act at enqueue return false.
+	OnDequeue(now float64, sojourn float64, p *Packet) bool
+}
+
+// DropTail admits while the buffer has room.
+type DropTail struct{}
+
+// Admit implements QueueDiscipline.
+func (DropTail) Admit(now float64, qBytes, limitBytes int, p *Packet) bool {
+	return qBytes+p.Size <= limitBytes
+}
+
+// OnDequeue implements QueueDiscipline.
+func (DropTail) OnDequeue(float64, float64, *Packet) bool { return false }
+
+// RED implements Random Early Detection: the drop probability ramps
+// linearly from 0 at MinThresholdBytes to MaxProb at MaxThresholdBytes,
+// computed over an EWMA of the queue occupancy.
+type RED struct {
+	MinThresholdBytes int
+	MaxThresholdBytes int
+	MaxProb           float64
+	Weight            float64 // EWMA weight, typically 0.002
+
+	avg float64
+	// Rand must return uniform [0,1) — injected so drops derive from the
+	// simulator's seeded RNG.
+	Rand func() float64
+}
+
+// Admit implements QueueDiscipline.
+func (r *RED) Admit(now float64, qBytes, limitBytes int, p *Packet) bool {
+	if qBytes+p.Size > limitBytes {
+		return false // hard limit still applies
+	}
+	w := r.Weight
+	if w <= 0 {
+		w = 0.002
+	}
+	r.avg = (1-w)*r.avg + w*float64(qBytes)
+	switch {
+	case r.avg < float64(r.MinThresholdBytes):
+		return true
+	case r.avg >= float64(r.MaxThresholdBytes):
+		return false
+	default:
+		frac := (r.avg - float64(r.MinThresholdBytes)) /
+			float64(r.MaxThresholdBytes-r.MinThresholdBytes)
+		return r.Rand() >= frac*r.MaxProb
+	}
+}
+
+// OnDequeue implements QueueDiscipline.
+func (r *RED) OnDequeue(float64, float64, *Packet) bool { return false }
+
+// CoDel implements the Controlled Delay AQM (Nichols & Jacobson): when the
+// minimum sojourn time stays above Target for an Interval, packets are
+// dropped at dequeue with the drop spacing shrinking as interval/sqrt(n).
+type CoDel struct {
+	Target   float64 // default 5 ms
+	Interval float64 // default 100 ms
+
+	firstAbove float64
+	dropping   bool
+	dropNext   float64
+	count      int
+}
+
+// NewCoDel returns a CoDel instance with the standard 5 ms / 100 ms
+// parameters.
+func NewCoDel() *CoDel { return &CoDel{Target: 0.005, Interval: 0.100} }
+
+// Admit implements QueueDiscipline: CoDel never drops at enqueue beyond the
+// hard limit.
+func (c *CoDel) Admit(now float64, qBytes, limitBytes int, p *Packet) bool {
+	return qBytes+p.Size <= limitBytes
+}
+
+// OnDequeue implements QueueDiscipline.
+func (c *CoDel) OnDequeue(now float64, sojourn float64, p *Packet) bool {
+	if sojourn < c.Target {
+		c.firstAbove = 0
+		if c.dropping {
+			c.dropping = false
+		}
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.Interval
+		return false
+	}
+	if !c.dropping {
+		if now >= c.firstAbove {
+			c.dropping = true
+			c.count = 1
+			c.dropNext = now + c.Interval/math.Sqrt(float64(c.count))
+			return true
+		}
+		return false
+	}
+	if now >= c.dropNext {
+		c.count++
+		c.dropNext = now + c.Interval/math.Sqrt(float64(c.count))
+		return true
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package netem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDropTailDiscipline(t *testing.T) {
+	d := DropTail{}
+	if !d.Admit(0, 0, 3000, &Packet{Size: 1500}) {
+		t.Fatal("empty queue rejected")
+	}
+	if d.Admit(0, 2000, 3000, &Packet{Size: 1500}) {
+		t.Fatal("overfull queue admitted")
+	}
+	if d.OnDequeue(0, 1.0, &Packet{}) {
+		t.Fatal("droptail dropped at dequeue")
+	}
+}
+
+func TestREDRampsDropProbability(t *testing.T) {
+	red := &RED{
+		MinThresholdBytes: 10000, MaxThresholdBytes: 30000,
+		MaxProb: 1.0, Weight: 1, // weight 1 = instantaneous queue
+		Rand: func() float64 { return 0.5 },
+	}
+	p := &Packet{Size: 1500}
+	if !red.Admit(0, 5000, 1<<20, p) {
+		t.Fatal("below min threshold must always admit")
+	}
+	// avg = 29000: frac = 0.95 > 0.5 → drop.
+	if red.Admit(0, 29000, 1<<20, p) {
+		t.Fatal("near max threshold should drop at rand 0.5")
+	}
+	// avg = 12000: frac = 0.1 < 0.5 → admit.
+	if !red.Admit(0, 12000, 1<<20, p) {
+		t.Fatal("just above min threshold should usually admit")
+	}
+	// Above max threshold: always drop.
+	if red.Admit(0, 40000, 1<<20, p) {
+		t.Fatal("above max threshold must drop")
+	}
+	// Hard limit still applies regardless of thresholds.
+	if red.Admit(0, 100, 1000, p) {
+		t.Fatal("hard buffer limit ignored")
+	}
+}
+
+func TestCoDelDropsPersistentQueue(t *testing.T) {
+	c := NewCoDel()
+	p := &Packet{Size: 1500}
+	// Sojourn below target: never drops.
+	for i := 0; i < 100; i++ {
+		if c.OnDequeue(float64(i)*0.01, 0.001, p) {
+			t.Fatal("dropped below target")
+		}
+	}
+	// Sojourn persistently above target: first drop after one Interval.
+	dropped := 0
+	for i := 0; i < 100; i++ {
+		if c.OnDequeue(1+float64(i)*0.01, 0.02, p) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("CoDel never dropped a persistently-late queue")
+	}
+	// Sojourn recovering: dropping stops.
+	if c.OnDequeue(10, 0.001, p) {
+		t.Fatal("dropped after queue recovered")
+	}
+}
+
+func TestCoDelDropSpacingShrinks(t *testing.T) {
+	c := NewCoDel()
+	p := &Packet{Size: 1500}
+	var dropTimes []float64
+	for i := 0; i < 20000; i++ {
+		now := float64(i) * 0.001
+		if c.OnDequeue(now, 0.02, p) {
+			dropTimes = append(dropTimes, now)
+		}
+	}
+	if len(dropTimes) < 4 {
+		t.Fatalf("only %d drops", len(dropTimes))
+	}
+	gap1 := dropTimes[1] - dropTimes[0]
+	gapLast := dropTimes[len(dropTimes)-1] - dropTimes[len(dropTimes)-2]
+	if gapLast >= gap1 {
+		t.Fatalf("drop spacing did not shrink: first %.3f last %.3f", gap1, gapLast)
+	}
+}
+
+func TestLinkWithCoDelSignalsOverload(t *testing.T) {
+	// Against an unresponsive overload CoDel cannot bound the queue (that
+	// needs a responsive sender; see the runner-level test), but it must
+	// produce escalating dequeue drops as the congestion signal.
+	s := sim.New(5)
+	l := NewLink(s, "l", LinkConfig{
+		RateBps: 10e6, Delay: 0.001, QueueBytes: 1 << 20, Discipline: NewCoDel(),
+	})
+	stop := s.Ticker(0, 0.0006, func() { // 2x capacity
+		SendOver(&Packet{Size: 1500}, []Hop{l}, func(*Packet) {}, func(*Packet, string) {})
+	})
+	s.At(2.5, func() { stop() })
+	s.Run(1)
+	early := l.Stats().AQMDrops
+	s.Run(2.5)
+	late := l.Stats().AQMDrops - early
+	if late == 0 {
+		t.Fatal("CoDel on an overloaded link never dropped")
+	}
+	if late <= early {
+		t.Fatalf("CoDel drop rate did not escalate: %d then %d", early, late)
+	}
+}
+
+func TestLinkWithREDUsesSimRNG(t *testing.T) {
+	s := sim.New(7)
+	red := &RED{MinThresholdBytes: 1500, MaxThresholdBytes: 15000, MaxProb: 0.5, Weight: 1}
+	l := NewLink(s, "l", LinkConfig{RateBps: 10e6, Delay: 0, QueueBytes: 1 << 20, Discipline: red})
+	if red.Rand == nil {
+		t.Fatal("NewLink did not wire the simulator RNG into RED")
+	}
+	dropped := 0
+	for i := 0; i < 200; i++ {
+		SendOver(&Packet{Size: 1500}, []Hop{l}, func(*Packet) {},
+			func(*Packet, string) { dropped++ })
+	}
+	s.Run(1)
+	if dropped == 0 {
+		t.Fatal("RED never early-dropped under an instantaneous burst")
+	}
+}

@@ -1,0 +1,62 @@
+package netem
+
+import (
+	"repro/internal/sim"
+)
+
+// CrossTraffic injects background packets into a link to emulate
+// uncontrolled competing traffic on wide-area Internet paths (used by the
+// Fig. 15 "real-world" substitution). Arrivals are Poisson; bursts are
+// geometric, so the offered load is bursty the way mixed Internet traffic
+// is, without modelling each background flow.
+type CrossTraffic struct {
+	Sim       *sim.Simulator
+	Link      *Link
+	MeanBps   float64 // average offered load in bits/sec
+	PktSize   int
+	BurstMean float64 // mean packets per burst (geometric)
+
+	stopped bool
+}
+
+// Start begins injection. Packets are fire-and-forget: delivered ones
+// vanish, drops are invisible to the foreground flows except through queue
+// occupancy.
+func (c *CrossTraffic) Start() {
+	if c.PktSize <= 0 {
+		c.PktSize = 1500
+	}
+	if c.BurstMean < 1 {
+		c.BurstMean = 1
+	}
+	c.scheduleNext()
+}
+
+// Stop halts injection after the next scheduled burst check.
+func (c *CrossTraffic) Stop() { c.stopped = true }
+
+func (c *CrossTraffic) scheduleNext() {
+	if c.stopped || c.MeanBps <= 0 {
+		return
+	}
+	// Mean bits per burst = PktSize*8*BurstMean; burst rate to hit MeanBps:
+	burstsPerSec := c.MeanBps / (float64(c.PktSize*8) * c.BurstMean)
+	gap := c.Sim.Rand().ExpFloat64() / burstsPerSec
+	c.Sim.After(gap, func() {
+		if c.stopped {
+			return
+		}
+		n := 1
+		for c.Sim.Rand().Float64() < 1-1/c.BurstMean {
+			n++
+			if n > 64 {
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			p := &Packet{FlowID: -1, Size: c.PktSize, SentAt: c.Sim.Now()}
+			SendOver(p, []Hop{c.Link}, func(*Packet) {}, func(*Packet, string) {})
+		}
+		c.scheduleNext()
+	})
+}

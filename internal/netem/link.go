@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// LinkConfig describes a rate-limited link with a droptail byte queue.
+type LinkConfig struct {
+	// RateBps is the link capacity in bits per second.
+	RateBps float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay float64
+	// QueueBytes is the droptail buffer limit. Zero means effectively
+	// unbounded (2^60 bytes).
+	QueueBytes int
+	// LossProb drops each arriving packet independently with this
+	// probability, emulating non-congestive (random) loss.
+	LossProb float64
+	// Discipline selects the queueing policy (nil = DropTail). RED and
+	// CoDel implement the paper's "user-defined queuing policies".
+	Discipline QueueDiscipline
+}
+
+// LinkStats aggregates what happened on a link since creation.
+type LinkStats struct {
+	Arrived     int64
+	Delivered   int64
+	TailDrops   int64 // enqueue-side drops (buffer full or AQM early drop)
+	AQMDrops    int64 // dequeue-side AQM drops (CoDel)
+	RandomDrops int64
+	BytesOut    int64
+}
+
+// Link is a store-and-forward hop: packets are serialized at the link rate,
+// wait behind the queue, then experience propagation delay. The rate can be
+// changed at runtime (trace playback).
+type Link struct {
+	Sim  *sim.Simulator
+	Name string
+
+	cfg     LinkConfig
+	rateBps float64
+
+	queue    []queued
+	qBytes   int
+	busy     bool
+	stats    LinkStats
+	maxQSeen int
+
+	// OnQueueSample, when set, is invoked at each dequeue with the current
+	// queue occupancy in bytes (for experiments that watch the bottleneck).
+	OnQueueSample func(t float64, qBytes int)
+}
+
+type queued struct {
+	p        *Packet
+	next     func(*Packet)
+	enqueued float64
+}
+
+// NewLink builds a link driven by s.
+func NewLink(s *sim.Simulator, name string, cfg LinkConfig) *Link {
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 1 << 60
+	}
+	if cfg.Discipline == nil {
+		cfg.Discipline = DropTail{}
+	}
+	if red, ok := cfg.Discipline.(*RED); ok && red.Rand == nil {
+		red.Rand = s.Rand().Float64
+	}
+	return &Link{Sim: s, Name: name, cfg: cfg, rateBps: cfg.RateBps}
+}
+
+// SetRateBps changes the service rate; in-flight serialization finishes at
+// the old rate, subsequent packets use the new one.
+func (l *Link) SetRateBps(r float64) {
+	if r <= 0 {
+		r = 1 // a dead-stopped link would stall the event loop; crawl instead
+	}
+	l.rateBps = r
+}
+
+// RateBps returns the current service rate in bits per second.
+func (l *Link) RateBps() float64 { return l.rateBps }
+
+// Config returns the link's static configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns current queue occupancy (excluding the packet in
+// service).
+func (l *Link) QueueBytes() int { return l.qBytes }
+
+// MaxQueueBytes returns the high-water mark of queue occupancy.
+func (l *Link) MaxQueueBytes() int { return l.maxQSeen }
+
+// Send implements Hop.
+func (l *Link) Send(p *Packet, next func(*Packet)) {
+	l.stats.Arrived++
+	if l.cfg.LossProb > 0 && l.Sim.Rand().Float64() < l.cfg.LossProb {
+		l.stats.RandomDrops++
+		p.Drop("random")
+		return
+	}
+	if !l.cfg.Discipline.Admit(l.Sim.Now(), l.qBytes, l.cfg.QueueBytes, p) {
+		l.stats.TailDrops++
+		p.Drop("tail")
+		return
+	}
+	l.queue = append(l.queue, queued{p, next, l.Sim.Now()})
+	l.qBytes += p.Size
+	if l.qBytes > l.maxQSeen {
+		l.maxQSeen = l.qBytes
+	}
+	if !l.busy {
+		l.serveNext()
+	}
+}
+
+func (l *Link) serveNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	item := l.queue[0]
+	l.queue = l.queue[1:]
+	l.qBytes -= item.p.Size
+	if l.OnQueueSample != nil {
+		l.OnQueueSample(l.Sim.Now(), l.qBytes)
+	}
+	if l.cfg.Discipline.OnDequeue(l.Sim.Now(), l.Sim.Now()-item.enqueued, item.p) {
+		l.stats.AQMDrops++
+		item.p.Drop("aqm")
+		l.serveNext()
+		return
+	}
+	txTime := float64(item.p.Size*8) / l.rateBps
+	if math.IsInf(txTime, 0) || math.IsNaN(txTime) {
+		txTime = 0
+	}
+	l.Sim.After(txTime, func() {
+		l.stats.Delivered++
+		l.stats.BytesOut += int64(item.p.Size)
+		// Propagation happens off the serialization path: the link is free
+		// to serve the next packet while this one flies.
+		l.Sim.After(l.cfg.Delay, func() { item.next(item.p) })
+		l.serveNext()
+	})
+}
+
+// DelayHop adds pure propagation delay with no queuing or rate limit. Used
+// for per-flow extra delay (RTT heterogeneity) and reverse paths.
+type DelayHop struct {
+	Sim   *sim.Simulator
+	Delay float64
+}
+
+// Send implements Hop.
+func (d *DelayHop) Send(p *Packet, next func(*Packet)) {
+	d.Sim.After(d.Delay, func() { next(p) })
+}
+
+// JitterHop adds random uniform delay in [0, Max), emulating scheduling
+// noise on wide-area paths.
+type JitterHop struct {
+	Sim *sim.Simulator
+	Max float64
+}
+
+// Send implements Hop.
+func (j *JitterHop) Send(p *Packet, next func(*Packet)) {
+	j.Sim.After(j.Sim.Rand().Float64()*j.Max, func() { next(p) })
+}

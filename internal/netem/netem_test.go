@@ -1,0 +1,245 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func deliverCollector(times *[]float64, s *sim.Simulator) func(*Packet) {
+	return func(p *Packet) { *times = append(*times, s.Now()) }
+}
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	s := sim.New(1)
+	// 12 Mbps → a 1500-byte packet serializes in 1 ms; delay 10 ms.
+	l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0.010, QueueBytes: 1 << 20})
+	var times []float64
+	p := &Packet{Size: 1500}
+	SendOver(p, []Hop{l}, deliverCollector(&times, s), nil)
+	s.Run(1)
+	if len(times) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(times))
+	}
+	want := 0.001 + 0.010
+	if math.Abs(times[0]-want) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", times[0], want)
+	}
+}
+
+func TestLinkQueueingBackToBack(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0, QueueBytes: 1 << 20})
+	var times []float64
+	for i := 0; i < 5; i++ {
+		SendOver(&Packet{Size: 1500}, []Hop{l}, deliverCollector(&times, s), nil)
+	}
+	s.Run(1)
+	if len(times) != 5 {
+		t.Fatalf("delivered %d, want 5", len(times))
+	}
+	for i, tm := range times {
+		want := 0.001 * float64(i+1)
+		if math.Abs(tm-want) > 1e-9 {
+			t.Fatalf("packet %d delivered at %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestLinkTailDrop(t *testing.T) {
+	s := sim.New(1)
+	// Queue limit of 3000 bytes = 2 packets; one more is in service.
+	l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0, QueueBytes: 3000})
+	delivered, dropped := 0, 0
+	for i := 0; i < 6; i++ {
+		SendOver(&Packet{Size: 1500}, []Hop{l},
+			func(*Packet) { delivered++ },
+			func(_ *Packet, reason string) {
+				if reason != "tail" {
+					t.Errorf("drop reason %q, want tail", reason)
+				}
+				dropped++
+			})
+	}
+	s.Run(1)
+	// First packet enters service (leaving queue), 2 queue, rest drop.
+	if delivered != 3 || dropped != 3 {
+		t.Fatalf("delivered=%d dropped=%d, want 3/3", delivered, dropped)
+	}
+	st := l.Stats()
+	if st.TailDrops != 3 || st.Delivered != 3 || st.Arrived != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	s := sim.New(7)
+	l := NewLink(s, "l", LinkConfig{RateBps: 1e9, Delay: 0, QueueBytes: 1 << 30, LossProb: 0.3})
+	delivered, dropped := 0, 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		SendOver(&Packet{Size: 1500}, []Hop{l},
+			func(*Packet) { delivered++ },
+			func(_ *Packet, reason string) { dropped++ })
+	}
+	s.Run(10)
+	frac := float64(dropped) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("random-loss fraction %.3f, want ≈0.30", frac)
+	}
+}
+
+func TestLinkRateChange(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0, QueueBytes: 1 << 20})
+	var times []float64
+	SendOver(&Packet{Size: 1500}, []Hop{l}, deliverCollector(&times, s), nil)
+	s.Run(0.0005) // mid-serialization
+	l.SetRateBps(120e6)
+	SendOver(&Packet{Size: 1500}, []Hop{l}, deliverCollector(&times, s), nil)
+	s.Run(1)
+	// First packet finishes at its old rate (1 ms), second at the new
+	// (0.1 ms after).
+	if math.Abs(times[0]-0.001) > 1e-9 {
+		t.Fatalf("first delivery %v", times[0])
+	}
+	if math.Abs(times[1]-0.0011) > 1e-9 {
+		t.Fatalf("second delivery %v, want 0.0011", times[1])
+	}
+}
+
+func TestLinkZeroRateGuard(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "l", LinkConfig{RateBps: 1e6, Delay: 0})
+	l.SetRateBps(0)
+	if l.RateBps() <= 0 {
+		t.Fatal("SetRateBps(0) should clamp to a positive crawl rate")
+	}
+}
+
+func TestDelayHop(t *testing.T) {
+	s := sim.New(1)
+	d := &DelayHop{Sim: s, Delay: 0.025}
+	var times []float64
+	SendOver(&Packet{Size: 100}, []Hop{d}, deliverCollector(&times, s), nil)
+	s.Run(1)
+	if math.Abs(times[0]-0.025) > 1e-12 {
+		t.Fatalf("delay hop delivered at %v", times[0])
+	}
+}
+
+func TestMultiHopPath(t *testing.T) {
+	s := sim.New(1)
+	l1 := NewLink(s, "l1", LinkConfig{RateBps: 12e6, Delay: 0.010, QueueBytes: 1 << 20})
+	l2 := NewLink(s, "l2", LinkConfig{RateBps: 12e6, Delay: 0.005, QueueBytes: 1 << 20})
+	var times []float64
+	SendOver(&Packet{Size: 1500}, []Hop{l1, l2}, deliverCollector(&times, s), nil)
+	s.Run(1)
+	want := 0.001 + 0.010 + 0.001 + 0.005
+	if math.Abs(times[0]-want) > 1e-9 {
+		t.Fatalf("two-hop delivery at %v, want %v", times[0], want)
+	}
+}
+
+func TestDumbbellBaseRTT(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DumbbellConfig{RateBps: 100e6, BaseRTT: 0.030, QueueBytes: 1 << 20})
+	p := d.FlowPath(0)
+	if rtt := p.BaseRTT(); math.Abs(rtt-0.030) > 1e-12 {
+		t.Fatalf("BaseRTT %v, want 0.030", rtt)
+	}
+	p2 := d.FlowPath(0.010)
+	if rtt := p2.BaseRTT(); math.Abs(rtt-0.040) > 1e-12 {
+		t.Fatalf("BaseRTT with extra delay %v, want 0.040", rtt)
+	}
+}
+
+func TestBDPBytes(t *testing.T) {
+	// 100 Mbps × 30 ms = 375000 bytes.
+	if got := BDPBytes(100e6, 0.030); got != 375000 {
+		t.Fatalf("BDPBytes = %d, want 375000", got)
+	}
+}
+
+func TestMultiBottleneckPaths(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMultiBottleneck(s, 100e6, 20e6, 0.030, 1<<20, 1<<20)
+	if len(mb.PathSet1().Forward) != 1 {
+		t.Fatal("set1 should cross one link")
+	}
+	if len(mb.PathSet2().Forward) != 2 {
+		t.Fatal("set2 should cross two links")
+	}
+	var times []float64
+	SendOver(&Packet{Size: 1500}, mb.PathSet2().Forward, deliverCollector(&times, s), nil)
+	s.Run(1)
+	if len(times) != 1 {
+		t.Fatal("packet lost crossing both links")
+	}
+}
+
+// Property: a FIFO link preserves order for same-size packets.
+func TestLinkFIFOProperty(t *testing.T) {
+	f := func(count uint8) bool {
+		n := int(count%50) + 2
+		s := sim.New(3)
+		l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0.001, QueueBytes: 1 << 30})
+		var order []int64
+		for i := 0; i < n; i++ {
+			SendOver(&Packet{Seq: int64(i), Size: 1500}, []Hop{l},
+				func(p *Packet) { order = append(order, p.Seq) }, nil)
+		}
+		s.Run(100)
+		if len(order) != n {
+			return false
+		}
+		for i := range order {
+			if order[i] != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossTrafficLoadsLink(t *testing.T) {
+	s := sim.New(9)
+	l := NewLink(s, "l", LinkConfig{RateBps: 100e6, Delay: 0.001, QueueBytes: 1 << 30})
+	ct := &CrossTraffic{Sim: s, Link: l, MeanBps: 50e6, BurstMean: 4}
+	ct.Start()
+	s.Run(10)
+	st := l.Stats()
+	gotBps := float64(st.BytesOut) * 8 / 10
+	if gotBps < 35e6 || gotBps > 65e6 {
+		t.Fatalf("cross traffic delivered %.1f Mbps, want ≈50", gotBps/1e6)
+	}
+	ct.Stop()
+	s.Run(10.1)
+	before := l.Stats().Arrived
+	s.Run(12)
+	if l.Stats().Arrived-before > 70 {
+		t.Fatalf("cross traffic kept flowing after Stop: %d new arrivals", l.Stats().Arrived-before)
+	}
+}
+
+func TestQueueHighWaterMark(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "l", LinkConfig{RateBps: 12e6, Delay: 0, QueueBytes: 1 << 20})
+	for i := 0; i < 10; i++ {
+		SendOver(&Packet{Size: 1500}, []Hop{l}, func(*Packet) {}, nil)
+	}
+	s.Run(1)
+	// 10 arrive instantly; 1 in service, 9 queued at peak.
+	if l.MaxQueueBytes() != 9*1500 {
+		t.Fatalf("MaxQueueBytes = %d, want %d", l.MaxQueueBytes(), 9*1500)
+	}
+	if l.QueueBytes() != 0 {
+		t.Fatalf("queue not drained: %d", l.QueueBytes())
+	}
+}

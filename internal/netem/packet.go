@@ -1,0 +1,60 @@
+// Package netem emulates network paths at packet granularity: rate-limited
+// links with droptail byte queues, propagation delay, stochastic loss,
+// trace-driven variable capacity and multi-hop topologies. It plays the role
+// Mahimahi and pantheon-tunnel play in the paper's testbed.
+package netem
+
+// Packet is the unit of transmission. The transport layer owns the payload
+// semantics (sequence numbers, ACK flags); netem only moves packets along a
+// sequence of hops, delaying and dropping them.
+type Packet struct {
+	FlowID  int
+	Seq     int64
+	Size    int // bytes on the wire, including headers
+	Ack     bool
+	SentAt  float64 // transport timestamp of the data packet this traces back to
+	Retrans bool
+
+	// AckSeq and AckInfo carry receiver state back to the sender; opaque to
+	// netem.
+	AckSeq  int64
+	AckInfo any
+
+	hops    []Hop
+	hopIdx  int
+	deliver func(*Packet)
+	onDrop  func(*Packet, string)
+}
+
+// Hop is one element of a path: anything that can accept a packet and
+// eventually hand it to next (or drop it).
+type Hop interface {
+	Send(p *Packet, next func(*Packet))
+}
+
+// SendOver launches p across hops; deliver runs when the last hop hands the
+// packet over, onDrop (optional) when any hop drops it, with a reason string.
+func SendOver(p *Packet, hops []Hop, deliver func(*Packet), onDrop func(*Packet, string)) {
+	p.hops = hops
+	p.hopIdx = 0
+	p.deliver = deliver
+	p.onDrop = onDrop
+	p.advance()
+}
+
+func (p *Packet) advance() {
+	if p.hopIdx >= len(p.hops) {
+		p.deliver(p)
+		return
+	}
+	h := p.hops[p.hopIdx]
+	p.hopIdx++
+	h.Send(p, func(q *Packet) { q.advance() })
+}
+
+// Drop terminates the packet's journey. Hops call this instead of next.
+func (p *Packet) Drop(reason string) {
+	if p.onDrop != nil {
+		p.onDrop(p, reason)
+	}
+}

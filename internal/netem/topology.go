@@ -1,0 +1,77 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ParkingLot generalizes the Fig. 11 topology to k links in series: one
+// "long" flow class crosses every link while k "short" classes each cross a
+// single link. It is the canonical stress test for max-min fairness of a CC
+// scheme (the long flow should receive the max-min share of the tightest
+// link, not be punished once per hop).
+type ParkingLot struct {
+	Sim   *sim.Simulator
+	Links []*Link
+	rtt   float64
+}
+
+// NewParkingLot builds k identical links in series, splitting the base RTT
+// propagation across them.
+func NewParkingLot(s *sim.Simulator, k int, rateBps, baseRTT float64, queueBytes int) *ParkingLot {
+	if k < 1 {
+		panic("netem: parking lot needs at least one link")
+	}
+	pl := &ParkingLot{Sim: s, rtt: baseRTT}
+	for i := 0; i < k; i++ {
+		pl.Links = append(pl.Links, NewLink(s, fmt.Sprintf("hop%d", i), LinkConfig{
+			RateBps: rateBps, Delay: baseRTT / 2 / float64(k), QueueBytes: queueBytes,
+		}))
+	}
+	return pl
+}
+
+// LongPath crosses every link.
+func (pl *ParkingLot) LongPath() *Path {
+	fwd := make([]Hop, len(pl.Links))
+	for i, l := range pl.Links {
+		fwd[i] = l
+	}
+	return &Path{
+		Forward: fwd,
+		Reverse: []Hop{&DelayHop{Sim: pl.Sim, Delay: pl.rtt / 2}},
+	}
+}
+
+// ShortPath crosses only link i, padding propagation so every class shares
+// the same base RTT (isolating the multi-hop effect from RTT bias).
+func (pl *ParkingLot) ShortPath(i int) *Path {
+	if i < 0 || i >= len(pl.Links) {
+		panic(fmt.Sprintf("netem: parking lot hop %d of %d", i, len(pl.Links)))
+	}
+	pad := pl.rtt/2 - pl.Links[i].cfg.Delay
+	fwd := []Hop{}
+	if pad > 0 {
+		fwd = append(fwd, &DelayHop{Sim: pl.Sim, Delay: pad})
+	}
+	fwd = append(fwd, pl.Links[i])
+	return &Path{
+		Forward: fwd,
+		Reverse: []Hop{&DelayHop{Sim: pl.Sim, Delay: pl.rtt / 2}},
+	}
+}
+
+// Outage schedules a capacity blackout on link between start and start+dur:
+// the rate collapses to a crawl and recovers to the prior value. It
+// emulates link flaps and deep wireless fades.
+func Outage(s *sim.Simulator, link *Link, start, dur float64) {
+	var saved float64
+	s.At(start, func() {
+		saved = link.RateBps()
+		link.SetRateBps(1) // crawl, not zero: keeps the event loop live
+	})
+	s.At(start+dur, func() {
+		link.SetRateBps(saved)
+	})
+}

@@ -1,0 +1,68 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParkingLotPaths(t *testing.T) {
+	s := sim.New(1)
+	pl := NewParkingLot(s, 3, 100e6, 0.030, 1<<20)
+	long := pl.LongPath()
+	if len(long.Forward) != 3 {
+		t.Fatalf("long path crosses %d links", len(long.Forward))
+	}
+	// Every class shares the same base RTT.
+	if math.Abs(long.BaseRTT()-0.030) > 1e-9 {
+		t.Fatalf("long path RTT %v", long.BaseRTT())
+	}
+	for i := 0; i < 3; i++ {
+		sp := pl.ShortPath(i)
+		if math.Abs(sp.BaseRTT()-0.030) > 1e-9 {
+			t.Fatalf("short path %d RTT %v, want equal to long", i, sp.BaseRTT())
+		}
+	}
+}
+
+func TestParkingLotDelivery(t *testing.T) {
+	s := sim.New(1)
+	pl := NewParkingLot(s, 2, 100e6, 0.020, 1<<20)
+	delivered := 0
+	SendOver(&Packet{Size: 1500}, pl.LongPath().Forward, func(*Packet) { delivered++ }, nil)
+	SendOver(&Packet{Size: 1500}, pl.ShortPath(1).Forward, func(*Packet) { delivered++ }, nil)
+	s.Run(1)
+	if delivered != 2 {
+		t.Fatalf("delivered %d", delivered)
+	}
+}
+
+func TestParkingLotBoundsChecked(t *testing.T) {
+	s := sim.New(1)
+	pl := NewParkingLot(s, 2, 1e6, 0.020, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range hop")
+		}
+	}()
+	pl.ShortPath(5)
+}
+
+func TestOutage(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "l", LinkConfig{RateBps: 10e6, Delay: 0.001, QueueBytes: 1 << 20})
+	Outage(s, l, 1.0, 0.5)
+	s.Run(0.9)
+	if l.RateBps() != 10e6 {
+		t.Fatalf("pre-outage rate %v", l.RateBps())
+	}
+	s.Run(1.2)
+	if l.RateBps() > 1 {
+		t.Fatalf("rate during outage %v", l.RateBps())
+	}
+	s.Run(2)
+	if l.RateBps() != 10e6 {
+		t.Fatalf("post-outage rate %v", l.RateBps())
+	}
+}

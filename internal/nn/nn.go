@@ -1,0 +1,362 @@
+// Package nn is a compact pure-Go neural-network library sufficient for the
+// paper's actor/critic models: fully-connected layers with ReLU/Tanh
+// activations, mean-squared-error loss, reverse-mode gradients, the Adam
+// optimizer, soft target-network updates, and JSON weight serialization. It
+// substitutes for the TensorFlow models in the paper's prototype.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("activation(%d)", int(a))
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOut computes the activation derivative given the activation
+// output (both ReLU and Tanh permit this).
+func (a Activation) derivFromOut(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully-connected layer: out = act(W x + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // row-major [Out][In]
+	B       []float64
+
+	// Adam state
+	mW, vW, mB, vB []float64
+	// gradient accumulators
+	gW, gB []float64
+}
+
+// NewDense builds a layer with He/Xavier-style initialization drawn from
+// rng.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Act: act,
+		W: make([]float64, in*out), B: make([]float64, out),
+		mW: make([]float64, in*out), vW: make([]float64, in*out),
+		mB: make([]float64, out), vB: make([]float64, out),
+		gW: make([]float64, in*out), gB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	if act == Tanh || act == Linear {
+		scale = math.Sqrt(1.0 / float64(in))
+	}
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward computes the layer output and records x internally for Backward.
+func (d *Dense) forward(x []float64, preact, out []float64) {
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		preact[o] = sum
+		out[o] = d.Act.apply(sum)
+	}
+}
+
+// MLP is a stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+
+	// scratch per-layer activations for forward/backward; MLP is not safe
+	// for concurrent use.
+	acts    [][]float64 // acts[0] = input copy, acts[i] = output of layer i-1
+	preacts [][]float64
+}
+
+// NewMLP builds an MLP with the given layer sizes; sizes[0] is the input
+// width. All hidden layers use hiddenAct; the output layer uses outAct.
+func NewMLP(rng *rand.Rand, hiddenAct, outAct Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i+2 == len(sizes) {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	m.allocScratch()
+	return m
+}
+
+func (m *MLP) allocScratch() {
+	m.acts = make([][]float64, len(m.Layers)+1)
+	m.preacts = make([][]float64, len(m.Layers))
+	m.acts[0] = make([]float64, m.Layers[0].In)
+	for i, l := range m.Layers {
+		m.acts[i+1] = make([]float64, l.Out)
+		m.preacts[i] = make([]float64, l.Out)
+	}
+}
+
+// InDim returns the input width.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Forward runs the network and returns the output slice (owned by the MLP;
+// copy it if you need it beyond the next call).
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.Layers[0].In {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.Layers[0].In))
+	}
+	copy(m.acts[0], x)
+	for i, l := range m.Layers {
+		l.forward(m.acts[i], m.preacts[i], m.acts[i+1])
+	}
+	return m.acts[len(m.Layers)]
+}
+
+// Backward accumulates parameter gradients for the last Forward call, given
+// dLoss/dOutput, and returns dLoss/dInput.
+func (m *MLP) Backward(dOut []float64) []float64 {
+	grad := append([]float64(nil), dOut...)
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := m.Layers[li]
+		in := m.acts[li]
+		out := m.acts[li+1]
+		// delta = grad * act'(out)
+		delta := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			delta[o] = grad[o] * l.Act.derivFromOut(out[o])
+		}
+		next := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			gRow := l.gW[o*l.In : (o+1)*l.In]
+			d := delta[o]
+			l.gB[o] += d
+			for i := 0; i < l.In; i++ {
+				gRow[i] += d * in[i]
+				next[i] += d * row[i]
+			}
+		}
+		grad = next
+	}
+	return grad
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		for i := range l.gW {
+			l.gW[i] = 0
+		}
+		for i := range l.gB {
+			l.gB[i] = 0
+		}
+	}
+}
+
+// Adam applies one Adam update using the accumulated gradients divided by
+// batchScale, then clears them.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	t       int
+	MaxNorm float64 // gradient clipping by global norm; 0 disables
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, MaxNorm: 10}
+}
+
+// Step updates m's parameters from its accumulated gradients (averaged over
+// batchScale samples) and zeroes the accumulators.
+func (a *Adam) Step(m *MLP, batchScale float64) {
+	if batchScale <= 0 {
+		batchScale = 1
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+
+	clip := 1.0
+	if a.MaxNorm > 0 {
+		var norm float64
+		for _, l := range m.Layers {
+			for _, g := range l.gW {
+				norm += (g / batchScale) * (g / batchScale)
+			}
+			for _, g := range l.gB {
+				norm += (g / batchScale) * (g / batchScale)
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.MaxNorm {
+			clip = a.MaxNorm / norm
+		}
+	}
+
+	upd := func(w, g, mm, vv []float64) {
+		for i := range w {
+			gi := g[i] / batchScale * clip
+			mm[i] = a.Beta1*mm[i] + (1-a.Beta1)*gi
+			vv[i] = a.Beta2*vv[i] + (1-a.Beta2)*gi*gi
+			mhat := mm[i] / bc1
+			vhat := vv[i] / bc2
+			w[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			g[i] = 0
+		}
+	}
+	for _, l := range m.Layers {
+		upd(l.W, l.gW, l.mW, l.vW)
+		upd(l.B, l.gB, l.mB, l.vB)
+	}
+}
+
+// Clone returns a deep copy of the network (weights only; optimizer and
+// gradient state reset).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Dense{In: l.In, Out: l.Out, Act: l.Act,
+			W:  append([]float64(nil), l.W...),
+			B:  append([]float64(nil), l.B...),
+			mW: make([]float64, len(l.W)), vW: make([]float64, len(l.W)),
+			mB: make([]float64, len(l.B)), vB: make([]float64, len(l.B)),
+			gW: make([]float64, len(l.W)), gB: make([]float64, len(l.B)),
+		}
+		c.Layers = append(c.Layers, nl)
+	}
+	c.allocScratch()
+	return c
+}
+
+// SoftUpdate moves target's weights toward m's: target = (1-tau)*target +
+// tau*m. Used for TD3 target networks.
+func SoftUpdate(target, m *MLP, tau float64) {
+	for li, l := range m.Layers {
+		tl := target.Layers[li]
+		for i := range l.W {
+			tl.W[i] = (1-tau)*tl.W[i] + tau*l.W[i]
+		}
+		for i := range l.B {
+			tl.B[i] = (1-tau)*tl.B[i] + tau*l.B[i]
+		}
+	}
+}
+
+// jsonModel is the serialized form.
+type jsonModel struct {
+	Layers []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	Act string    `json:"act"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	jm := jsonModel{}
+	for _, l := range m.Layers {
+		jm.Layers = append(jm.Layers, jsonLayer{
+			In: l.In, Out: l.Out, Act: l.Act.String(), W: l.W, B: l.B,
+		})
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	if len(jm.Layers) == 0 {
+		return fmt.Errorf("nn: model has no layers")
+	}
+	m.Layers = nil
+	for _, jl := range jm.Layers {
+		var act Activation
+		switch jl.Act {
+		case "linear":
+			act = Linear
+		case "relu":
+			act = ReLU
+		case "tanh":
+			act = Tanh
+		default:
+			return fmt.Errorf("nn: unknown activation %q", jl.Act)
+		}
+		if len(jl.W) != jl.In*jl.Out || len(jl.B) != jl.Out {
+			return fmt.Errorf("nn: layer shape mismatch: %dx%d with %d weights, %d biases",
+				jl.In, jl.Out, len(jl.W), len(jl.B))
+		}
+		m.Layers = append(m.Layers, &Dense{
+			In: jl.In, Out: jl.Out, Act: act,
+			W: jl.W, B: jl.B,
+			mW: make([]float64, len(jl.W)), vW: make([]float64, len(jl.W)),
+			mB: make([]float64, len(jl.B)), vB: make([]float64, len(jl.B)),
+			gW: make([]float64, len(jl.W)), gB: make([]float64, len(jl.B)),
+		})
+	}
+	m.allocScratch()
+	return nil
+}

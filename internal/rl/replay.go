@@ -1,0 +1,72 @@
+// Package rl implements the paper's multi-agent training algorithm
+// (Algorithm 1): a deterministic-policy-gradient actor trained against a
+// centralized critic that, MADDPG-style, consumes the global state of all
+// active flows alongside the agent's local state and action. The TD3
+// optimizations of Appendix A are included: twin critics with clipped
+// double-Q learning, target networks with soft updates, delayed policy
+// updates, and target policy smoothing.
+package rl
+
+import (
+	"math/rand"
+)
+
+// Transition is one experience tuple (g, s, a, r, g', s', done) gathered by
+// the environment's state block.
+type Transition struct {
+	Global     []float64 // aggregated global state g (critic input only)
+	State      []float64 // local state s (actor input)
+	Action     []float64
+	Reward     float64
+	NextGlobal []float64
+	NextState  []float64
+	Done       bool
+}
+
+// ReplayBuffer is a fixed-capacity ring of transitions with uniform
+// sampling (the experience-replay memory of Appendix A).
+type ReplayBuffer struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer allocates a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic("rl: replay capacity must be positive")
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity)}
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (rb *ReplayBuffer) Add(t Transition) {
+	rb.buf[rb.next] = t
+	rb.next++
+	if rb.next == len(rb.buf) {
+		rb.next = 0
+		rb.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (rb *ReplayBuffer) Len() int {
+	if rb.full {
+		return len(rb.buf)
+	}
+	return rb.next
+}
+
+// Sample draws n transitions uniformly with replacement into out (resized
+// as needed) and returns it. It panics on an empty buffer.
+func (rb *ReplayBuffer) Sample(rng *rand.Rand, n int, out []Transition) []Transition {
+	m := rb.Len()
+	if m == 0 {
+		panic("rl: sampling from empty replay buffer")
+	}
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, rb.buf[rng.Intn(m)])
+	}
+	return out
+}

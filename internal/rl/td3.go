@@ -1,0 +1,211 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config sets the trainer's hyperparameters. Defaults follow Table 4 and
+// Appendix A of the paper.
+type Config struct {
+	StateDim  int // local state width (actor input)
+	GlobalDim int // global state width (critic extra input)
+	ActionDim int
+
+	Hidden []int // hidden layer sizes; paper uses 256/128/64
+
+	ActorLR  float64
+	CriticLR float64
+	Gamma    float64
+	Tau      float64 // soft target update rate
+	Batch    int
+
+	// TD3 specifics
+	PolicyDelay  int     // actor updates once per this many critic updates
+	TargetNoise  float64 // target policy smoothing stddev
+	NoiseClip    float64
+	ExploreNoise float64 // behaviour noise during data collection
+}
+
+// DefaultConfig returns the paper-aligned hyperparameters for the given
+// dimensions.
+func DefaultConfig(stateDim, globalDim, actionDim int) Config {
+	return Config{
+		StateDim: stateDim, GlobalDim: globalDim, ActionDim: actionDim,
+		Hidden:  []int{256, 128, 64},
+		ActorLR: 0.001, CriticLR: 0.001,
+		Gamma: 0.98, Tau: 0.005, Batch: 192,
+		PolicyDelay: 2, TargetNoise: 0.2, NoiseClip: 0.5, ExploreNoise: 0.1,
+	}
+}
+
+// Trainer holds the actor, twin critics and their targets, and performs
+// TD3/MADDPG updates from sampled transitions.
+type Trainer struct {
+	Cfg Config
+
+	Actor   *nn.MLP
+	Critic1 *nn.MLP
+	Critic2 *nn.MLP
+
+	actorTarget   *nn.MLP
+	critic1Target *nn.MLP
+	critic2Target *nn.MLP
+
+	actorOpt   *nn.Adam
+	critic1Opt *nn.Adam
+	critic2Opt *nn.Adam
+
+	rng     *rand.Rand
+	updates int
+
+	// LastCriticLoss and LastActorObjective expose training diagnostics.
+	LastCriticLoss     float64
+	LastActorObjective float64
+}
+
+// NewTrainer builds the networks. The critic input is [global, state,
+// action]; the actor input is [state] and its tanh output lies in (-1,1).
+func NewTrainer(cfg Config, seed int64) *Trainer {
+	rng := rand.New(rand.NewSource(seed))
+	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	actorSizes = append(actorSizes, cfg.ActionDim)
+	criticIn := cfg.GlobalDim + cfg.StateDim + cfg.ActionDim
+	criticSizes := append([]int{criticIn}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+
+	t := &Trainer{
+		Cfg:        cfg,
+		Actor:      nn.NewMLP(rng, nn.ReLU, nn.Tanh, actorSizes...),
+		Critic1:    nn.NewMLP(rng, nn.ReLU, nn.Linear, criticSizes...),
+		Critic2:    nn.NewMLP(rng, nn.ReLU, nn.Linear, criticSizes...),
+		actorOpt:   nn.NewAdam(cfg.ActorLR),
+		critic1Opt: nn.NewAdam(cfg.CriticLR),
+		critic2Opt: nn.NewAdam(cfg.CriticLR),
+		rng:        rng,
+	}
+	t.actorTarget = t.Actor.Clone()
+	t.critic1Target = t.Critic1.Clone()
+	t.critic2Target = t.Critic2.Clone()
+	return t
+}
+
+// Act runs the current policy on state; with explore=true, Gaussian
+// behaviour noise is added and the result clamped to [-1, 1].
+func (t *Trainer) Act(state []float64, explore bool) []float64 {
+	out := t.Actor.Forward(state)
+	act := append([]float64(nil), out...)
+	if explore {
+		for i := range act {
+			act[i] += t.rng.NormFloat64() * t.Cfg.ExploreNoise
+			if act[i] > 1 {
+				act[i] = 1
+			}
+			if act[i] < -1 {
+				act[i] = -1
+			}
+		}
+	}
+	return act
+}
+
+func criticInput(global, state, action []float64) []float64 {
+	in := make([]float64, 0, len(global)+len(state)+len(action))
+	in = append(in, global...)
+	in = append(in, state...)
+	in = append(in, action...)
+	return in
+}
+
+// Update performs one training step on a batch sampled from rb: both
+// critics learn the clipped-double-Q temporal-difference target, and every
+// PolicyDelay steps the actor ascends Critic1's value with soft target
+// updates following.
+func (t *Trainer) Update(rb *ReplayBuffer) {
+	if rb.Len() < t.Cfg.Batch {
+		return
+	}
+	batch := rb.Sample(t.rng, t.Cfg.Batch, nil)
+
+	// --- critic update ---
+	t.Critic1.ZeroGrad()
+	t.Critic2.ZeroGrad()
+	var closs float64
+	for _, tr := range batch {
+		// Target action with smoothing noise.
+		aNext := append([]float64(nil), t.actorTarget.Forward(tr.NextState)...)
+		for i := range aNext {
+			noise := t.rng.NormFloat64() * t.Cfg.TargetNoise
+			if noise > t.Cfg.NoiseClip {
+				noise = t.Cfg.NoiseClip
+			}
+			if noise < -t.Cfg.NoiseClip {
+				noise = -t.Cfg.NoiseClip
+			}
+			aNext[i] += noise
+			if aNext[i] > 1 {
+				aNext[i] = 1
+			}
+			if aNext[i] < -1 {
+				aNext[i] = -1
+			}
+		}
+		inNext := criticInput(tr.NextGlobal, tr.NextState, aNext)
+		q1n := t.critic1Target.Forward(inNext)[0]
+		q2n := t.critic2Target.Forward(inNext)[0]
+		qn := math.Min(q1n, q2n)
+		target := tr.Reward
+		if !tr.Done {
+			target += t.Cfg.Gamma * qn
+		}
+
+		in := criticInput(tr.Global, tr.State, tr.Action)
+		q1 := t.Critic1.Forward(in)[0]
+		t.Critic1.Backward([]float64{q1 - target})
+		q2 := t.Critic2.Forward(in)[0]
+		t.Critic2.Backward([]float64{q2 - target})
+		d1, d2 := q1-target, q2-target
+		closs += 0.5 * (d1*d1 + d2*d2)
+	}
+	n := float64(len(batch))
+	t.critic1Opt.Step(t.Critic1, n)
+	t.critic2Opt.Step(t.Critic2, n)
+	t.LastCriticLoss = closs / n
+	t.updates++
+
+	// --- delayed actor update ---
+	if t.updates%t.Cfg.PolicyDelay != 0 {
+		return
+	}
+	t.Actor.ZeroGrad()
+	var obj float64
+	for _, tr := range batch {
+		a := t.Actor.Forward(tr.State)
+		in := criticInput(tr.Global, tr.State, a)
+		q := t.Critic1.Forward(in)[0]
+		obj += q
+		// dQ/dInput → slice out dQ/dAction, ascend (so loss gradient is -1).
+		t.Critic1.ZeroGrad()
+		dIn := t.Critic1.Backward([]float64{1})
+		dA := dIn[len(tr.Global)+len(tr.State):]
+		neg := make([]float64, len(dA))
+		for i := range dA {
+			neg[i] = -dA[i] // gradient ascent on Q
+		}
+		t.Actor.Backward(neg)
+	}
+	t.Critic1.ZeroGrad() // discard critic grads accumulated for dQ/dA
+	t.actorOpt.Step(t.Actor, n)
+	t.LastActorObjective = obj / n
+
+	nn.SoftUpdate(t.actorTarget, t.Actor, t.Cfg.Tau)
+	nn.SoftUpdate(t.critic1Target, t.Critic1, t.Cfg.Tau)
+	nn.SoftUpdate(t.critic2Target, t.Critic2, t.Cfg.Tau)
+}
+
+// QValue exposes Critic1's estimate for diagnostics and tests.
+func (t *Trainer) QValue(global, state, action []float64) float64 {
+	return t.Critic1.Forward(criticInput(global, state, action))[0]
+}

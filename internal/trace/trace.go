@@ -1,0 +1,230 @@
+// Package trace generates and plays back time-varying link-capacity traces.
+// It substitutes for the Verizon LTE trace (Sprout) the paper replays with
+// Mahimahi: a Markov-modulated synthetic cellular trace with millisecond-
+// scale rate variation, plus constant / step / satellite profiles.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Trace is a piecewise-constant capacity schedule. Points must be sorted by
+// time; the rate before the first point equals the first point's rate.
+type Trace struct {
+	Points []Point
+}
+
+// Point sets the capacity (bits/sec) from At (seconds) onward.
+type Point struct {
+	At      float64
+	RateBps float64
+}
+
+// RateAt returns the capacity active at time t.
+func (tr *Trace) RateAt(t float64) float64 {
+	pts := tr.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At > t })
+	if i == 0 {
+		return pts[0].RateBps
+	}
+	return pts[i-1].RateBps
+}
+
+// Duration returns the time of the last point.
+func (tr *Trace) Duration() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].At
+}
+
+// Mean returns the time-weighted mean rate over the trace duration.
+func (tr *Trace) Mean() float64 {
+	if len(tr.Points) < 2 {
+		if len(tr.Points) == 1 {
+			return tr.Points[0].RateBps
+		}
+		return 0
+	}
+	var area, span float64
+	for i := 0; i < len(tr.Points)-1; i++ {
+		dt := tr.Points[i+1].At - tr.Points[i].At
+		area += tr.Points[i].RateBps * dt
+		span += dt
+	}
+	if span == 0 {
+		return tr.Points[0].RateBps
+	}
+	return area / span
+}
+
+// Apply schedules SetRateBps calls on link for every trace point, looping
+// the trace until horizon if loop is true.
+func (tr *Trace) Apply(s *sim.Simulator, link *netem.Link, horizon float64, loop bool) {
+	if len(tr.Points) == 0 {
+		return
+	}
+	dur := tr.Duration()
+	base := 0.0
+	for {
+		for _, p := range tr.Points {
+			t := base + p.At
+			if t > horizon {
+				return
+			}
+			rate := p.RateBps
+			s.At(t, func() { link.SetRateBps(rate) })
+		}
+		if !loop || dur <= 0 {
+			return
+		}
+		base += dur
+		if base > horizon {
+			return
+		}
+	}
+}
+
+// Constant returns a trace holding rateBps for dur seconds.
+func Constant(rateBps, dur float64) *Trace {
+	return &Trace{Points: []Point{{0, rateBps}, {dur, rateBps}}}
+}
+
+// Step returns a trace alternating between lo and hi every period seconds
+// for dur seconds, starting at lo.
+func Step(lo, hi, period, dur float64) *Trace {
+	tr := &Trace{}
+	rate := lo
+	for t := 0.0; t <= dur; t += period {
+		tr.Points = append(tr.Points, Point{t, rate})
+		if rate == lo {
+			rate = hi
+		} else {
+			rate = lo
+		}
+	}
+	return tr
+}
+
+// CellularConfig tunes the synthetic LTE generator.
+type CellularConfig struct {
+	MeanBps     float64 // long-run average capacity
+	MinBps      float64
+	MaxBps      float64
+	Interval    float64 // seconds between rate updates (ms-scale)
+	Volatility  float64 // per-step log-rate noise stddev
+	Reversion   float64 // mean-reversion strength toward MeanBps (0..1)
+	OutageProb  float64 // probability per step of a deep fade
+	OutageFloor float64 // rate during a fade
+}
+
+// DefaultCellular matches the character of the Verizon LTE downlink trace:
+// mean around 9 Mbps, swings from near-zero to ~25 Mbps within tens of
+// milliseconds.
+func DefaultCellular() CellularConfig {
+	return CellularConfig{
+		MeanBps:     9e6,
+		MinBps:      0.2e6,
+		MaxBps:      25e6,
+		Interval:    0.020,
+		Volatility:  0.25,
+		Reversion:   0.05,
+		OutageProb:  0.005,
+		OutageFloor: 0.1e6,
+	}
+}
+
+// Cellular generates a mean-reverting geometric random walk trace of the
+// given duration using rng.
+func Cellular(cfg CellularConfig, dur float64, rng *rand.Rand) *Trace {
+	tr := &Trace{}
+	logMean := math.Log(cfg.MeanBps)
+	x := logMean
+	for t := 0.0; t <= dur; t += cfg.Interval {
+		if rng.Float64() < cfg.OutageProb {
+			tr.Points = append(tr.Points, Point{t, cfg.OutageFloor})
+			continue
+		}
+		x += cfg.Reversion*(logMean-x) + cfg.Volatility*rng.NormFloat64()
+		rate := math.Exp(x)
+		if rate < cfg.MinBps {
+			rate = cfg.MinBps
+			x = math.Log(rate)
+		}
+		if rate > cfg.MaxBps {
+			rate = cfg.MaxBps
+			x = math.Log(rate)
+		}
+		tr.Points = append(tr.Points, Point{t, rate})
+	}
+	return tr
+}
+
+// ParseMahimahi reads a mahimahi-style trace: one integer per line, the
+// millisecond timestamp at which a 1500-byte MTU packet can be delivered.
+// The result is converted to a piecewise rate at granularity ms bins.
+func ParseMahimahi(r io.Reader, binMS int) (*Trace, error) {
+	if binMS <= 0 {
+		binMS = 100
+	}
+	sc := bufio.NewScanner(r)
+	counts := map[int]int{}
+	maxBin := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ms, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad line %q: %w", line, err)
+		}
+		bin := ms / binMS
+		counts[bin]++
+		if bin > maxBin {
+			maxBin = bin
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{}
+	for b := 0; b <= maxBin; b++ {
+		bits := float64(counts[b]) * 1500 * 8
+		rate := bits / (float64(binMS) / 1000)
+		tr.Points = append(tr.Points, Point{float64(b*binMS) / 1000, rate})
+	}
+	return tr, nil
+}
+
+// FormatMahimahi writes tr as a mahimahi packet-delivery schedule covering
+// its duration.
+func FormatMahimahi(w io.Writer, tr *Trace) error {
+	dur := tr.Duration()
+	bw := bufio.NewWriter(w)
+	var credit float64
+	for ms := 0; float64(ms)/1000 < dur; ms++ {
+		t := float64(ms) / 1000
+		credit += tr.RateAt(t) / 8 / 1000 // bytes deliverable this ms
+		for credit >= 1500 {
+			credit -= 1500
+			if _, err := fmt.Fprintln(bw, ms); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func TestRateAt(t *testing.T) {
+	tr := &Trace{Points: []Point{{0, 10}, {1, 20}, {2, 5}}}
+	cases := []struct{ t, want float64 }{
+		{-1, 10}, {0, 10}, {0.5, 10}, {1, 20}, {1.5, 20}, {2, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.t); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if tr.RateAt(1) != 0 || tr.Duration() != 0 || tr.Mean() != 0 {
+		t.Fatal("empty trace should be all zeros")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	tr := Constant(5e6, 10)
+	if tr.Mean() != 5e6 {
+		t.Fatalf("Mean = %v", tr.Mean())
+	}
+	if tr.Duration() != 10 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestStepMean(t *testing.T) {
+	tr := Step(10, 30, 1, 10)
+	m := tr.Mean()
+	if m < 18 || m > 22 {
+		t.Fatalf("step trace mean %v, want ≈20", m)
+	}
+}
+
+func TestMeanTimeWeighted(t *testing.T) {
+	// 10 for 3 s then 40 for 1 s → (30+40)/4 = 17.5
+	tr := &Trace{Points: []Point{{0, 10}, {3, 40}, {4, 40}}}
+	if m := tr.Mean(); math.Abs(m-17.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 17.5", m)
+	}
+}
+
+func TestApplyDrivesLink(t *testing.T) {
+	s := sim.New(1)
+	l := netem.NewLink(s, "l", netem.LinkConfig{RateBps: 1e6, Delay: 0})
+	tr := &Trace{Points: []Point{{0, 2e6}, {1, 8e6}}}
+	tr.Apply(s, l, 10, false)
+	s.Run(0.5)
+	if l.RateBps() != 2e6 {
+		t.Fatalf("rate at 0.5s = %v", l.RateBps())
+	}
+	s.Run(1.5)
+	if l.RateBps() != 8e6 {
+		t.Fatalf("rate at 1.5s = %v", l.RateBps())
+	}
+}
+
+func TestApplyLoops(t *testing.T) {
+	s := sim.New(1)
+	l := netem.NewLink(s, "l", netem.LinkConfig{RateBps: 1e6, Delay: 0})
+	tr := &Trace{Points: []Point{{0, 2e6}, {0.5, 4e6}, {1, 2e6}}}
+	tr.Apply(s, l, 5, true)
+	s.Run(2.6) // second loop's 0.5 point fired at 2.5
+	if l.RateBps() != 4e6 {
+		t.Fatalf("rate at 2.6s = %v, want looped 4e6", l.RateBps())
+	}
+}
+
+func TestCellularStaysInBounds(t *testing.T) {
+	cfg := DefaultCellular()
+	rng := rand.New(rand.NewSource(3))
+	tr := Cellular(cfg, 60, rng)
+	if len(tr.Points) < 100 {
+		t.Fatalf("cellular trace too sparse: %d points", len(tr.Points))
+	}
+	for _, p := range tr.Points {
+		if p.RateBps < cfg.OutageFloor-1 || p.RateBps > cfg.MaxBps+1 {
+			t.Fatalf("rate %v out of [%v, %v]", p.RateBps, cfg.OutageFloor, cfg.MaxBps)
+		}
+	}
+	m := tr.Mean()
+	if m < cfg.MeanBps/4 || m > cfg.MaxBps {
+		t.Fatalf("cellular mean %v implausible vs configured %v", m, cfg.MeanBps)
+	}
+}
+
+func TestCellularVariability(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Cellular(DefaultCellular(), 60, rng)
+	// The trace must actually vary at ms scale (that's its purpose).
+	changes := 0
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].RateBps != tr.Points[i-1].RateBps {
+			changes++
+		}
+	}
+	if float64(changes) < 0.9*float64(len(tr.Points)-1) {
+		t.Fatalf("only %d/%d steps changed rate", changes, len(tr.Points)-1)
+	}
+}
+
+func TestMahimahiRoundTrip(t *testing.T) {
+	orig := Constant(12e6, 2) // 1000 packets/s
+	var buf bytes.Buffer
+	if err := FormatMahimahi(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseMahimahi(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parsed.Mean()
+	if m < 11e6 || m > 13e6 {
+		t.Fatalf("round-trip mean %v, want ≈12e6", m)
+	}
+}
+
+func TestParseMahimahiRejectsGarbage(t *testing.T) {
+	_, err := ParseMahimahi(strings.NewReader("12\nnot-a-number\n"), 100)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseMahimahiSkipsComments(t *testing.T) {
+	tr, err := ParseMahimahi(strings.NewReader("# header\n10\n20\n\n30\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) == 0 {
+		t.Fatal("no points parsed")
+	}
+}

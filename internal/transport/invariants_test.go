@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// chaosCC drives the flow with randomized cwnd/pacing decisions to stress
+// accounting invariants.
+type chaosCC struct {
+	rng *rand.Rand
+}
+
+func (c *chaosCC) Name() string { return "chaos" }
+func (c *chaosCC) Init(f *Flow) { f.ScheduleMTP(0.01) }
+func (c *chaosCC) OnAck(f *Flow, e AckEvent) {
+	if c.rng.Float64() < 0.1 {
+		f.SetCwnd(f.Cwnd() * (0.5 + c.rng.Float64()))
+	}
+}
+func (c *chaosCC) OnLoss(f *Flow, e LossEvent) {
+	if c.rng.Float64() < 0.5 {
+		f.SetCwnd(f.Cwnd() / 2)
+	}
+}
+func (c *chaosCC) OnMTP(f *Flow, st MTPStats) {
+	switch c.rng.Intn(4) {
+	case 0:
+		f.SetCwnd(c.rng.Float64() * 500)
+	case 1:
+		f.SetPacingBps(c.rng.Float64() * 200e6)
+	case 2:
+		f.SetPacingBps(0)
+		f.SetCwnd(10 + c.rng.Float64()*100)
+	}
+	f.ScheduleMTP(0.005 + c.rng.Float64()*0.05)
+}
+
+// Property: under arbitrary controller behaviour and arbitrary link
+// conditions, the flow's byte accounting stays consistent and inflight
+// never goes negative.
+func TestAccountingInvariantsUnderChaos(t *testing.T) {
+	f := func(seed int64, rateU, lossU uint8) bool {
+		rate := 1e6 + float64(rateU)*1e6     // 1..256 Mbps
+		lossProb := float64(lossU%50) / 1000 // 0..4.9%
+		s := sim.New(seed)
+		d := netem.NewDumbbell(s, netem.DumbbellConfig{
+			RateBps: rate, BaseRTT: 0.020,
+			QueueBytes: 30000, LossProb: lossProb,
+		})
+		fl := NewFlow(s, FlowConfig{
+			ID: 0, Path: d.FlowPath(0),
+			CC: &chaosCC{rng: rand.New(rand.NewSource(seed))},
+		})
+		fl.Start()
+		for i := 0; i < 40; i++ {
+			s.Run(float64(i) * 0.25)
+			if fl.Inflight() < 0 {
+				t.Logf("negative inflight at t=%v", s.Now())
+				return false
+			}
+		}
+		// Conservation: every sent byte is delivered, lost, or in flight.
+		accounted := fl.DeliveredBytes + fl.LostBytes + int64(fl.Inflight())*MSS
+		if accounted != fl.SentBytes {
+			t.Logf("sent %d != delivered %d + lost %d + inflight %d",
+				fl.SentBytes, fl.DeliveredBytes, fl.LostBytes, int64(fl.Inflight())*MSS)
+			return false
+		}
+		if fl.MinRTT() < 0.020 && fl.RTTSamples > 0 {
+			t.Logf("minRTT %v below propagation delay", fl.MinRTT())
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pacing rate bounds the send rate over any window.
+func TestPacingBoundsSendRate(t *testing.T) {
+	f := func(rateU uint8) bool {
+		pacing := 1e6 + float64(rateU)*0.5e6
+		s := sim.New(3)
+		d := netem.NewDumbbell(s, netem.DumbbellConfig{
+			RateBps: 1e9, BaseRTT: 0.010, QueueBytes: 1 << 30,
+		})
+		cc := &recorderCC{pacing: pacing, fixCwnd: 1e9}
+		fl := NewFlow(s, FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc})
+		fl.Start()
+		s.Run(2)
+		sendRate := float64(fl.SentBytes) * 8 / 2
+		// Allow the initial burst plus 5% scheduling slack.
+		return sendRate <= pacing*1.05+10*MSS*8
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the flow never delivers more than the link can carry.
+func TestLinkCapacityIsRespected(t *testing.T) {
+	f := func(rateU uint8) bool {
+		rate := 5e6 + float64(rateU)*1e6
+		s := sim.New(7)
+		d := netem.NewDumbbell(s, netem.DumbbellConfig{
+			RateBps: rate, BaseRTT: 0.020, QueueBytes: 1 << 20,
+		})
+		cc := &recorderCC{fixCwnd: 5000}
+		fl := NewFlow(s, FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc})
+		fl.Start()
+		s.Run(3)
+		return float64(fl.DeliveredBytes)*8/3 <= rate*1.01
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,557 @@
+// Package transport implements the end-host side of the emulation: a
+// cwnd-limited, optionally paced bulk sender with per-packet ACKs,
+// QUIC-style packet-number loss detection (reordering threshold 3), RTO, and
+// monitor-time-period (MTP) statistics collection. Congestion-control
+// algorithms plug in through the CongestionControl interface, receiving ACK,
+// loss and MTP events and steering the flow through cwnd/pacing setters —
+// the same control surface the paper's kernel module exposes.
+package transport
+
+import (
+	"math"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// MSS is the sender's fixed segment size in bytes (wire size; headers are
+// not modelled separately).
+const MSS = 1500
+
+// AckEvent describes one acknowledged packet.
+type AckEvent struct {
+	PktNum   int64
+	Bytes    int
+	RTT      float64 // sample from this packet
+	Now      float64
+	SRTT     float64 // smoothed estimate after incorporating this sample
+	MinRTT   float64 // lifetime minimum
+	Inflight int     // packets still outstanding after this ack
+}
+
+// LossEvent describes one or more packets declared lost.
+type LossEvent struct {
+	PktNum  int64 // highest lost packet number in this event
+	Bytes   int   // total bytes declared lost
+	Packets int
+	Timeout bool // true when declared by RTO rather than reordering
+	Now     float64
+}
+
+// MTPStats summarizes a monitor time period, mirroring the statistics the
+// paper's state block consumes (§3.3).
+type MTPStats struct {
+	Start, End float64
+	Duration   float64
+
+	ThroughputBps  float64 // acked bytes over the period, in bits/sec
+	DeliveredBytes int
+	LostBytes      int
+	LossRate       float64 // lost / (lost + delivered), by bytes
+
+	AvgRTT     float64 // mean of RTT samples in the period (0 if none)
+	MinRTT     float64 // lifetime minimum RTT
+	MaxTputBps float64 // lifetime maximum per-MTP throughput
+
+	CwndPkts     float64
+	InflightPkts int
+	PacingBps    float64
+	SendRateBps  float64 // bytes put on the wire over the period
+}
+
+// CongestionControl is implemented by every scheme in internal/cc and by
+// the Astraea agent.
+type CongestionControl interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Init is called once before the flow starts sending.
+	Init(f *Flow)
+	// OnAck fires for every acknowledged packet.
+	OnAck(f *Flow, e AckEvent)
+	// OnLoss fires once per loss event (a batch of packets declared lost
+	// together produces a single event).
+	OnLoss(f *Flow, e LossEvent)
+	// OnMTP fires when a monitor period completes, if the scheme armed one
+	// via Flow.ScheduleMTP.
+	OnMTP(f *Flow, st MTPStats)
+}
+
+type sentRecord struct {
+	bytes  int
+	sentAt float64
+	acked  bool
+	lost   bool
+}
+
+// FlowConfig configures a flow.
+type FlowConfig struct {
+	ID    int
+	Path  *netem.Path
+	CC    CongestionControl
+	Start float64
+	// Duration stops the flow Start+Duration seconds in; zero means run
+	// until the simulation ends.
+	Duration float64
+	// InitialCwnd in packets; defaults to 10 (RFC 6928).
+	InitialCwnd float64
+}
+
+// Flow is one bulk transfer.
+type Flow struct {
+	Sim *sim.Simulator
+	ID  int
+	CC  CongestionControl
+
+	path *netem.Path
+
+	cwnd      float64 // packets
+	pacingBps float64 // 0 = unpaced (pure ack clocking)
+	minCwnd   float64
+	nextSend  float64
+	sendTimer *sim.Event
+	active    bool
+	startAt   float64
+	stopAt    float64
+
+	nextPktNum int64
+	sent       map[int64]*sentRecord
+	// order lists outstanding packet numbers in send order, so loss
+	// detection pops an amortized-O(1) prefix instead of scanning the map
+	// per ack (which is quadratic at large windows).
+	order        []int64
+	inflight     int
+	largestAcked int64
+
+	srtt, rttvar float64
+	minRTT       float64
+	lastAckAt    float64
+	rtoTimer     *sim.Event
+	rtoBackoff   float64
+
+	// lifetime counters
+	DeliveredBytes int64
+	SentBytes      int64
+	LostBytes      int64
+	LostPackets    int64
+	RTTSamples     int64
+
+	// per-MTP window accounting
+	mtpStart     float64
+	mtpDelivered int
+	mtpLost      int
+	mtpSent      int
+	mtpRTTSum    float64
+	mtpRTTCount  int
+	mtpTimer     *sim.Event
+	maxTput      float64
+
+	// OnAckHook lets experiment recorders observe acks without interposing
+	// on the CC.
+	OnAckHook func(e AckEvent)
+	// OnCwndHook observes every congestion-window change (after clamping).
+	OnCwndHook func(now, cwnd float64)
+	// OnLossHook observes loss events alongside the CC.
+	OnLossHook func(e LossEvent)
+	// OnStop runs when the flow's duration elapses.
+	OnStop func(f *Flow)
+}
+
+// NewFlow builds a flow; call Start (or let the env do it) to begin.
+func NewFlow(s *sim.Simulator, cfg FlowConfig) *Flow {
+	icw := cfg.InitialCwnd
+	if icw <= 0 {
+		icw = 10
+	}
+	f := &Flow{
+		Sim:          s,
+		ID:           cfg.ID,
+		CC:           cfg.CC,
+		path:         cfg.Path,
+		cwnd:         icw,
+		minCwnd:      2,
+		sent:         make(map[int64]*sentRecord),
+		minRTT:       math.Inf(1),
+		startAt:      cfg.Start,
+		largestAcked: -1,
+		rtoBackoff:   1,
+	}
+	if cfg.Duration > 0 {
+		f.stopAt = cfg.Start + cfg.Duration
+	}
+	return f
+}
+
+// Start schedules flow launch at its configured start time.
+func (f *Flow) Start() {
+	f.Sim.At(f.startAt, func() {
+		f.active = true
+		f.mtpStart = f.Sim.Now()
+		f.CC.Init(f)
+		f.trySend()
+		f.armRTO()
+		if f.stopAt > 0 {
+			f.Sim.At(f.stopAt, f.stop)
+		}
+	})
+}
+
+func (f *Flow) stop() {
+	f.active = false
+	if f.sendTimer != nil {
+		f.sendTimer.Cancel()
+	}
+	if f.mtpTimer != nil {
+		f.mtpTimer.Cancel()
+	}
+	if f.rtoTimer != nil {
+		f.rtoTimer.Cancel()
+	}
+	if f.OnStop != nil {
+		f.OnStop(f)
+	}
+}
+
+// Active reports whether the flow is currently sending.
+func (f *Flow) Active() bool { return f.active }
+
+// Cwnd returns the congestion window in packets.
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// SetCwnd sets the congestion window (packets), clamped to the minimum.
+func (f *Flow) SetCwnd(w float64) {
+	if w < f.minCwnd {
+		w = f.minCwnd
+	}
+	f.cwnd = w
+	if f.OnCwndHook != nil {
+		f.OnCwndHook(f.Sim.Now(), w)
+	}
+	f.trySend()
+}
+
+// PacingBps returns the pacing rate in bits/sec (0 = unpaced).
+func (f *Flow) PacingBps() float64 { return f.pacingBps }
+
+// SetPacingBps sets the pacing rate in bits/sec; zero disables pacing.
+func (f *Flow) SetPacingBps(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	f.pacingBps = r
+	f.trySend()
+}
+
+// DefaultPacing sets pacing to cwnd/sRTT (the paper's mapping from cwnd to
+// pacing rate) with a small headroom factor.
+func (f *Flow) DefaultPacing() {
+	rtt := f.srtt
+	if rtt <= 0 {
+		rtt = f.minRTT
+	}
+	if rtt <= 0 || math.IsInf(rtt, 0) {
+		f.SetPacingBps(0)
+		return
+	}
+	f.SetPacingBps(1.2 * f.cwnd * MSS * 8 / rtt)
+}
+
+// Inflight returns outstanding packets.
+func (f *Flow) Inflight() int { return f.inflight }
+
+// SRTT returns the smoothed RTT (0 before the first sample).
+func (f *Flow) SRTT() float64 { return f.srtt }
+
+// MinRTT returns the lifetime minimum RTT (+Inf before the first sample).
+func (f *Flow) MinRTT() float64 { return f.minRTT }
+
+// MaxTputBps returns the largest per-MTP throughput observed.
+func (f *Flow) MaxTputBps() float64 { return f.maxTput }
+
+// ScheduleMTP arms (or re-arms) the monitor period timer to fire d seconds
+// from now. CC schemes call this from Init and typically again from OnMTP.
+func (f *Flow) ScheduleMTP(d float64) {
+	if f.mtpTimer != nil {
+		f.mtpTimer.Cancel()
+	}
+	f.mtpTimer = f.Sim.After(d, f.fireMTP)
+}
+
+func (f *Flow) fireMTP() {
+	if !f.active {
+		return
+	}
+	now := f.Sim.Now()
+	dur := now - f.mtpStart
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	st := MTPStats{
+		Start:          f.mtpStart,
+		End:            now,
+		Duration:       dur,
+		ThroughputBps:  float64(f.mtpDelivered) * 8 / dur,
+		DeliveredBytes: f.mtpDelivered,
+		LostBytes:      f.mtpLost,
+		CwndPkts:       f.cwnd,
+		InflightPkts:   f.inflight,
+		PacingBps:      f.pacingBps,
+		SendRateBps:    float64(f.mtpSent) * 8 / dur,
+		MinRTT:         f.minRTTOrZero(),
+	}
+	if tot := f.mtpDelivered + f.mtpLost; tot > 0 {
+		st.LossRate = float64(f.mtpLost) / float64(tot)
+	}
+	if f.mtpRTTCount > 0 {
+		st.AvgRTT = f.mtpRTTSum / float64(f.mtpRTTCount)
+	}
+	if st.ThroughputBps > f.maxTput {
+		f.maxTput = st.ThroughputBps
+	}
+	st.MaxTputBps = f.maxTput
+	f.mtpStart = now
+	f.mtpDelivered, f.mtpLost, f.mtpSent = 0, 0, 0
+	f.mtpRTTSum, f.mtpRTTCount = 0, 0
+	f.CC.OnMTP(f, st)
+}
+
+func (f *Flow) minRTTOrZero() float64 {
+	if math.IsInf(f.minRTT, 0) {
+		return 0
+	}
+	return f.minRTT
+}
+
+// maxUnpacedBurst bounds how many packets an unpaced flow may emit from a
+// single trySend call. Rate-based schemes park cwnd at effectively-infinite
+// values; without pacing armed yet, an unbounded loop here would spin the
+// simulator. Ack clocking and the RTO re-invoke trySend, so the bound does
+// not limit steady-state throughput.
+const maxUnpacedBurst = 4096
+
+func (f *Flow) trySend() {
+	if !f.active {
+		return
+	}
+	now := f.Sim.Now()
+	burst := 0
+	for float64(f.inflight)+1 <= f.cwnd+1e-9 {
+		if f.pacingBps == 0 {
+			burst++
+			if burst > maxUnpacedBurst {
+				// Stop here; acks or the RTO will resume sending. Re-arming
+				// a zero-delay event instead would freeze virtual time.
+				return
+			}
+		}
+		if f.pacingBps > 0 && now < f.nextSend-1e-12 {
+			if f.sendTimer != nil {
+				f.sendTimer.Cancel()
+			}
+			f.sendTimer = f.Sim.At(f.nextSend, f.trySend)
+			return
+		}
+		f.sendPacket()
+		if f.pacingBps > 0 {
+			gap := MSS * 8 / f.pacingBps
+			if f.nextSend < now {
+				f.nextSend = now
+			}
+			f.nextSend += gap
+		}
+	}
+}
+
+func (f *Flow) sendPacket() {
+	num := f.nextPktNum
+	f.nextPktNum++
+	now := f.Sim.Now()
+	f.sent[num] = &sentRecord{bytes: MSS, sentAt: now}
+	f.order = append(f.order, num)
+	f.inflight++
+	f.SentBytes += MSS
+	f.mtpSent += MSS
+	p := &netem.Packet{FlowID: f.ID, Seq: num, Size: MSS, SentAt: now}
+	netem.SendOver(p, f.path.Forward, f.deliverToReceiver, func(q *netem.Packet, reason string) {
+		// The packet evaporates in the network. The sender learns about it
+		// through reordering detection or RTO, not instantly.
+	})
+}
+
+// deliverToReceiver models the receiver: immediately ACK every packet back
+// over the reverse path.
+func (f *Flow) deliverToReceiver(p *netem.Packet) {
+	ack := &netem.Packet{FlowID: f.ID, Seq: p.Seq, Size: 40, Ack: true, SentAt: p.SentAt}
+	netem.SendOver(ack, f.path.Reverse, f.onAckArrival, func(q *netem.Packet, reason string) {})
+}
+
+func (f *Flow) onAckArrival(p *netem.Packet) {
+	if !f.active {
+		return
+	}
+	rec, ok := f.sent[p.Seq]
+	if !ok || rec.acked {
+		return
+	}
+	now := f.Sim.Now()
+	rec.acked = true
+	wasLost := rec.lost
+	delete(f.sent, p.Seq)
+	if !wasLost {
+		f.inflight--
+	}
+
+	rttSample := now - p.SentAt
+	f.updateRTT(rttSample)
+	f.DeliveredBytes += int64(rec.bytes)
+	f.mtpDelivered += rec.bytes
+	f.mtpRTTSum += rttSample
+	f.mtpRTTCount++
+	f.RTTSamples++
+	f.lastAckAt = now
+	f.rtoBackoff = 1
+	if p.Seq > f.largestAcked {
+		f.largestAcked = p.Seq
+	}
+
+	e := AckEvent{
+		PktNum: p.Seq, Bytes: rec.bytes, RTT: rttSample, Now: now,
+		SRTT: f.srtt, MinRTT: f.minRTTOrZero(), Inflight: f.inflight,
+	}
+	f.detectLosses()
+	f.CC.OnAck(f, e)
+	if f.OnAckHook != nil {
+		f.OnAckHook(e)
+	}
+	f.armRTO()
+	f.trySend()
+}
+
+func (f *Flow) updateRTT(sample float64) {
+	if sample < f.minRTT {
+		f.minRTT = sample
+	}
+	if f.srtt == 0 {
+		f.srtt = sample
+		f.rttvar = sample / 2
+		return
+	}
+	const alpha, beta = 1.0 / 8, 1.0 / 4
+	f.rttvar = (1-beta)*f.rttvar + beta*math.Abs(f.srtt-sample)
+	f.srtt = (1-alpha)*f.srtt + alpha*sample
+}
+
+// detectLosses declares packets lost when 3 higher-numbered packets have
+// been acknowledged (QUIC packet-threshold detection). It walks only the
+// in-order prefix of outstanding packet numbers below the threshold.
+func (f *Flow) detectLosses() {
+	const reorderThreshold = 3
+	threshold := f.largestAcked - reorderThreshold
+	if threshold < 0 {
+		return
+	}
+	var lostBytes, lostPkts int
+	var highest int64
+	for len(f.order) > 0 && f.order[0] <= threshold {
+		num := f.order[0]
+		f.order = f.order[1:]
+		rec, ok := f.sent[num]
+		if !ok {
+			continue // already acknowledged
+		}
+		rec.lost = true
+		lostBytes += rec.bytes
+		lostPkts++
+		if num > highest {
+			highest = num
+		}
+		f.inflight--
+		delete(f.sent, num)
+	}
+	if lostPkts == 0 {
+		return
+	}
+	f.LostBytes += int64(lostBytes)
+	f.LostPackets += int64(lostPkts)
+	f.mtpLost += lostBytes
+	ev := LossEvent{PktNum: highest, Bytes: lostBytes, Packets: lostPkts, Now: f.Sim.Now()}
+	f.CC.OnLoss(f, ev)
+	if f.OnLossHook != nil {
+		f.OnLossHook(ev)
+	}
+}
+
+// LargestAcked exposes the highest acknowledged packet number, used by CC
+// schemes to implement once-per-window reaction (fast-recovery style).
+func (f *Flow) LargestAcked() int64 { return f.largestAcked }
+
+// NextPktNum exposes the next packet number to be sent.
+func (f *Flow) NextPktNum() int64 { return f.nextPktNum }
+
+func (f *Flow) rto() float64 {
+	if f.srtt == 0 {
+		return 1.0 * f.rtoBackoff
+	}
+	rto := f.srtt + 4*f.rttvar
+	if rto < 0.2 {
+		rto = 0.2
+	}
+	return rto * f.rtoBackoff
+}
+
+func (f *Flow) armRTO() {
+	if f.rtoTimer != nil {
+		f.rtoTimer.Cancel()
+	}
+	if !f.active {
+		return
+	}
+	f.rtoTimer = f.Sim.After(f.rto(), f.onRTO)
+}
+
+func (f *Flow) onRTO() {
+	if !f.active {
+		return
+	}
+	if f.inflight == 0 {
+		// Nothing outstanding (cwnd-limited edge); try sending again.
+		f.trySend()
+		f.armRTO()
+		return
+	}
+	// Declare everything outstanding lost.
+	var lostBytes, lostPkts int
+	var highest int64
+	for num, rec := range f.sent {
+		if rec.lost {
+			continue
+		}
+		rec.lost = true
+		lostBytes += rec.bytes
+		lostPkts++
+		if num > highest {
+			highest = num
+		}
+		delete(f.sent, num)
+	}
+	f.inflight = 0
+	f.order = f.order[:0] // every outstanding record was just cleared
+	if lostPkts > 0 {
+		f.LostBytes += int64(lostBytes)
+		f.LostPackets += int64(lostPkts)
+		f.mtpLost += lostBytes
+		ev := LossEvent{
+			PktNum: highest, Bytes: lostBytes, Packets: lostPkts,
+			Timeout: true, Now: f.Sim.Now(),
+		}
+		f.CC.OnLoss(f, ev)
+		if f.OnLossHook != nil {
+			f.OnLossHook(ev)
+		}
+	}
+	f.rtoBackoff *= 2
+	if f.rtoBackoff > 64 {
+		f.rtoBackoff = 64
+	}
+	f.armRTO()
+	f.trySend()
+}

@@ -1,0 +1,136 @@
+package repro
+
+// Micro-benchmarks for the substrates: simulator event throughput, link
+// packet processing, policy inference, and trainer updates. These bound
+// how much emulation a wall-clock second buys, which matters when scaling
+// the figure experiments.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func BenchmarkSimulatorEvents(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(0.001, tick)
+		}
+	}
+	s.After(0, tick)
+	b.ResetTimer()
+	s.Run(1e18)
+}
+
+func BenchmarkLinkPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	l := netem.NewLink(s, "l", netem.LinkConfig{RateBps: 1e12, Delay: 0.001, QueueBytes: 1 << 30})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netem.SendOver(&netem.Packet{Size: 1500}, []netem.Hop{l}, func(*netem.Packet) {}, nil)
+		if i%1024 == 0 {
+			s.Run(s.Now() + 1)
+		}
+	}
+	s.Run(s.Now() + 10)
+}
+
+// BenchmarkFlowSecond measures wall time per simulated second of one Cubic
+// flow saturating 100 Mbps (≈8.3k packets of events).
+func BenchmarkFlowSecond(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{
+		RateBps: 100e6, BaseRTT: 0.030, QueueBytes: netem.BDPBytes(100e6, 0.030),
+	})
+	f := transport.NewFlow(s, transport.FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc.MustNew("cubic")})
+	f.Start()
+	s.Run(2) // warm past slow start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(s.Now() + 1)
+	}
+}
+
+func BenchmarkReferencePolicyInference(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig()
+	p := core.NewReferencePolicy(cfg)
+	state := make([]float64, cfg.StateDim())
+	for i := range state {
+		state[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Action(state)
+	}
+}
+
+func BenchmarkMLPPolicyInference(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 256, 128, 64, 1)
+	p := &core.MLPPolicy{Net: net}
+	state := make([]float64, cfg.StateDim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Action(state)
+	}
+}
+
+func BenchmarkTD3Update(b *testing.B) {
+	b.ReportAllocs()
+	cfg := rl.DefaultConfig(40, core.GlobalFeatureDim, 1)
+	cfg.Batch = 192
+	tr := rl.NewTrainer(cfg, 1)
+	rb := rl.NewReplayBuffer(10000)
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	for i := 0; i < 2000; i++ {
+		rb.Add(rl.Transition{
+			Global: mk(core.GlobalFeatureDim), State: mk(40), Action: mk(1),
+			Reward: rng.Float64(), NextGlobal: mk(core.GlobalFeatureDim), NextState: mk(40),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Update(rb)
+	}
+}
+
+// BenchmarkAstraeaThreeFlowScenario is the canonical Fig. 6 workload as a
+// single number: wall time to simulate the 3-flow staggered run.
+func BenchmarkAstraeaThreeFlowScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner.MustRun(runner.Scenario{
+			Seed: 1, RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1, Duration: 30,
+			Flows: []runner.FlowSpec{
+				{Scheme: "astraea", Start: 0},
+				{Scheme: "astraea", Start: 5},
+				{Scheme: "astraea", Start: 10},
+			},
+		})
+	}
+}

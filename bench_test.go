@@ -6,18 +6,30 @@
 package repro
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
-// benchOpts keeps each figure benchmark to a few seconds.
+// benchOpts keeps each figure benchmark to a few seconds. Set REPRO_WORKERS
+// to compare worker-pool sizes (e.g. REPRO_WORKERS=1 for the serial
+// baseline); unset or 0 uses GOMAXPROCS.
 func benchOpts() experiments.Opts {
-	return experiments.Opts{Trials: 1, TimeScale: 0.15}
+	o := experiments.Opts{Trials: 1, TimeScale: 0.15}
+	if v := os.Getenv("REPRO_WORKERS"); v != "" {
+		if w, err := strconv.Atoi(v); err == nil {
+			o.Workers = w
+		}
+	}
+	return o
 }
 
 func benchTables(b *testing.B, fn func(experiments.Opts) []*experiments.Table) {
 	b.ReportAllocs()
+	simStart := runner.SimSeconds()
 	for i := 0; i < b.N; i++ {
 		tables := fn(benchOpts())
 		if len(tables) == 0 {
@@ -28,6 +40,9 @@ func benchTables(b *testing.B, fn func(experiments.Opts) []*experiments.Table) {
 				b.Fatalf("%s produced no rows", t.ID)
 			}
 		}
+	}
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric((runner.SimSeconds()-simStart)/wall, "simsec/wallsec")
 	}
 }
 

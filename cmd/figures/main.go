@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-quick] [-csv] [-only fig6,fig12,...]
+//	figures [-quick] [-csv] [-only fig6,fig12,...] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	trials := flag.Int("trials", 0, "override trial count")
 	scale := flag.Float64("scale", 0, "override duration scale (1.0 = paper)")
 	outdir := flag.String("outdir", "", "also write one CSV per table into this directory")
+	workers := flag.Int("workers", 0, "scenario worker pool size (0 = GOMAXPROCS; results identical for any value)")
 	flag.Parse()
 
 	o := experiments.Full()
@@ -36,6 +37,7 @@ func main() {
 	if *scale > 0 {
 		o.TimeScale = *scale
 	}
+	o.Workers = *workers
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -61,21 +61,19 @@ type Agent struct {
 	LastState  []float64
 }
 
-// agentSeq staggers drain windows across agents so concurrently created
-// flows do not drain in lockstep.
-var agentSeq int
-
 // NewAgent builds an agent around policy (nil selects the reference
-// policy).
+// policy). The drain offset that staggers drain windows across flows is
+// derived from the flow ID at Init time — never from process-global state,
+// which would race under concurrent scenarios and make results depend on
+// how many agents were created earlier in the process.
 func NewAgent(cfg Config, policy Policy) *Agent {
 	if policy == nil {
 		policy = NewReferencePolicy(cfg)
 	}
-	agentSeq++
 	return &Agent{
 		Cfg: cfg, policy: policy, states: NewStateBlock(cfg), inStartup: true,
 		DrainPeriod: 64, DrainLen: 3, DrainFactor: 0.85,
-		drainOffset: (agentSeq * 17) % 64,
+		drainOffset: -1,
 	}
 }
 
@@ -96,6 +94,18 @@ func (a *Agent) StateInput() []float64 { return a.states.Input() }
 
 // Init implements transport.CongestionControl.
 func (a *Agent) Init(f *transport.Flow) {
+	if a.drainOffset < 0 {
+		// Stagger drain windows across flows deterministically: derive the
+		// offset from the flow ID so it is a pure function of the scenario.
+		// The +1 keeps flow 0 from landing on offset 0, which would open a
+		// drain window during its first MTPs — mid-slow-start, with no
+		// window worth restoring.
+		id := f.ID
+		if id < 0 {
+			id = -id
+		}
+		a.drainOffset = ((id + 1) * 17) % 64
+	}
 	f.ScheduleMTP(a.Cfg.MTP)
 }
 

@@ -36,35 +36,52 @@ func ExpAblationAlpha(o Opts) *Table {
 		Title:   "Ablation: action coefficient alpha (Eq. 3 responsiveness/stability trade-off)",
 		Columns: []string{"alpha", "jain", "utilization", "stability_mbps", "conv_time_s"},
 	}
-	for _, alpha := range []float64{0.01, 0.025, 0.05, 0.1, 0.2} {
+	alphas := []float64{0.01, 0.025, 0.05, 0.1, 0.2}
+	trials := o.trials()
+	type trialOut struct {
+		jain, util, stab, conv float64
+		converged              bool
+	}
+	outs := make([]trialOut, len(alphas)*trials)
+	// Each job runs its trial's two scenarios (three-flow + two-flow
+	// convergence); jobs fan across the pool and write only their own slot.
+	forEach(o, len(outs), func(job int) {
+		alpha, trial := alphas[job/trials], job%trials
+		cfg := core.DefaultConfig()
+		cfg.Alpha = alpha
+		mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
+		out := &outs[job]
+		out.jain, out.util, out.stab = astraeaThreeFlow(o, int64(3000+trial), mk)
+		// Convergence of the second flow.
+		interval := o.scale(40.0)
+		flowDur := o.scale(120.0)
+		res := runner.MustRun(runner.Scenario{
+			Seed: int64(3100 + trial), RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1,
+			Duration: interval + flowDur,
+			Flows: []runner.FlowSpec{
+				{CC: mk(), Start: 0, Duration: flowDur + interval},
+				{CC: mk(), Start: interval, Duration: flowDur},
+			},
+		})
+		sm := metrics.Smooth(res.Flows[1].Tput, 1.0)
+		if ct := metrics.ConvergenceTime(sm, interval, 50e6, 0.10, 0.5); ct >= 0 {
+			out.conv, out.converged = ct, true
+		}
+	})
+	for ai, alpha := range alphas {
 		var jainS, utilS, stabS, convS float64
 		convN := 0
-		for trial := 0; trial < o.trials(); trial++ {
-			cfg := core.DefaultConfig()
-			cfg.Alpha = alpha
-			mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
-			j, u, st := astraeaThreeFlow(o, int64(3000+trial), mk)
-			jainS += j
-			utilS += u
-			stabS += st
-			// Convergence of the second flow.
-			interval := o.scale(40.0)
-			flowDur := o.scale(120.0)
-			res := runner.MustRun(runner.Scenario{
-				Seed: int64(3100 + trial), RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1,
-				Duration: interval + flowDur,
-				Flows: []runner.FlowSpec{
-					{CC: mk(), Start: 0, Duration: flowDur + interval},
-					{CC: mk(), Start: interval, Duration: flowDur},
-				},
-			})
-			sm := metrics.Smooth(res.Flows[1].Tput, 1.0)
-			if ct := metrics.ConvergenceTime(sm, interval, 50e6, 0.10, 0.5); ct >= 0 {
-				convS += ct
+		for trial := 0; trial < trials; trial++ {
+			out := outs[ai*trials+trial]
+			jainS += out.jain
+			utilS += out.util
+			stabS += out.stab
+			if out.converged {
+				convS += out.conv
 				convN++
 			}
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		conv := "never"
 		if convN > 0 {
 			conv = f2(convS / float64(convN))
@@ -94,21 +111,28 @@ func ExpAblationDrain(o Opts) *Table {
 		{"drain-on", 64},
 		{"drain-off", 0},
 	}
-	for _, v := range variants {
-		var jainS, utilS, stabS float64
-		for trial := 0; trial < o.trials(); trial++ {
-			cfg := core.DefaultConfig()
-			mk := func() *core.Agent {
-				a := core.NewAgent(cfg, nil)
-				a.DrainPeriod = v.period
-				return a
-			}
-			j, u, st := astraeaThreeFlow(o, int64(3200+trial), mk)
-			jainS += j
-			utilS += u
-			stabS += st
+	trials := o.trials()
+	jains := make([]float64, len(variants)*trials)
+	utils := make([]float64, len(variants)*trials)
+	stabs := make([]float64, len(variants)*trials)
+	forEach(o, len(variants)*trials, func(job int) {
+		v, trial := variants[job/trials], job%trials
+		cfg := core.DefaultConfig()
+		mk := func() *core.Agent {
+			a := core.NewAgent(cfg, nil)
+			a.DrainPeriod = v.period
+			return a
 		}
-		n := float64(o.trials())
+		jains[job], utils[job], stabs[job] = astraeaThreeFlow(o, int64(3200+trial), mk)
+	})
+	for vi, v := range variants {
+		var jainS, utilS, stabS float64
+		for trial := 0; trial < trials; trial++ {
+			jainS += jains[vi*trials+trial]
+			utilS += utils[vi*trials+trial]
+			stabS += stabs[vi*trials+trial]
+		}
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{v.name, f3(jainS / n), f3(utilS / n), f2(stabS / n)})
 	}
 	t.Note = "expected: drain-off trades a few points of Jain for marginally smoother throughput"
@@ -125,17 +149,24 @@ func ExpAblationHistory(o Opts) *Table {
 		Title:   "Ablation: state history length w",
 		Columns: []string{"w", "state_dim", "jain", "utilization"},
 	}
-	for _, w := range []int{1, 3, 5, 10} {
+	ws := []int{1, 3, 5, 10}
+	trials := o.trials()
+	jains := make([]float64, len(ws)*trials)
+	utils := make([]float64, len(ws)*trials)
+	forEach(o, len(ws)*trials, func(job int) {
+		w, trial := ws[job/trials], job%trials
+		cfg := core.DefaultConfig()
+		cfg.HistoryLen = w
+		mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
+		jains[job], utils[job], _ = astraeaThreeFlow(o, int64(3300+trial), mk)
+	})
+	for wi, w := range ws {
 		var jainS, utilS float64
-		for trial := 0; trial < o.trials(); trial++ {
-			cfg := core.DefaultConfig()
-			cfg.HistoryLen = w
-			mk := func() *core.Agent { return core.NewAgent(cfg, nil) }
-			j, u, _ := astraeaThreeFlow(o, int64(3300+trial), mk)
-			jainS += j
-			utilS += u
+		for trial := 0; trial < trials; trial++ {
+			jainS += jains[wi*trials+trial]
+			utilS += utils[wi*trials+trial]
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(w), fmt.Sprint(w * core.LocalFeatureDim),
 			f3(jainS / n), f3(utilS / n),

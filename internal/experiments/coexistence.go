@@ -18,12 +18,12 @@ func ExpCoexistenceMatrix(o Opts) *Table {
 		Columns: append([]string{"scheme"}, schemes...),
 	}
 	dur := o.scale(60.0)
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(schemes)*len(schemes)*trials)
 	for _, row := range schemes {
-		cells := []string{row}
 		for _, col := range schemes {
-			var shareSum float64
-			for trial := 0; trial < o.trials(); trial++ {
-				res := runner.MustRun(runner.Scenario{
+			for trial := 0; trial < trials; trial++ {
+				grid = append(grid, runner.Scenario{
 					Seed: int64(2600 + trial), RateBps: 100e6, BaseRTT: 0.030,
 					QueueBDP: 1, Duration: dur,
 					Flows: []runner.FlowSpec{
@@ -31,6 +31,18 @@ func ExpCoexistenceMatrix(o Opts) *Table {
 						{Scheme: col},
 					},
 				})
+			}
+		}
+	}
+	results := runAll(o, grid)
+	idx := 0
+	for _, row := range schemes {
+		cells := []string{row}
+		for range schemes {
+			var shareSum float64
+			for trial := 0; trial < trials; trial++ {
+				res := results[idx]
+				idx++
 				a := res.Flows[0].AvgTputWindow(dur/4, dur)
 				b := res.Flows[1].AvgTputWindow(dur/4, dur)
 				if a+b > 0 {
@@ -39,7 +51,7 @@ func ExpCoexistenceMatrix(o Opts) *Table {
 					shareSum += 0.5
 				}
 			}
-			cells = append(cells, f2(shareSum/float64(o.trials())))
+			cells = append(cells, f2(shareSum/float64(trials)))
 		}
 		t.Rows = append(t.Rows, cells)
 	}

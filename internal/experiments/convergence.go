@@ -23,8 +23,8 @@ func ExpFigure12(o Opts) *Table {
 		Title:   "Convergence time vs stability (Fig. 6 scenario)",
 		Columns: []string{"scheme", "conv_time_s", "stability_mbps", "jain", "utilization"},
 	}
-	for _, scheme := range Schemes {
-		cs := convergenceStats(o, scheme, 3)
+	for _, cs := range convergenceStatsAll(o, Schemes, 3) {
+		scheme := cs.Scheme
 		conv := "never"
 		if cs.ConvTime >= 0 {
 			conv = f3(cs.ConvTime)
@@ -44,15 +44,23 @@ func ExpFigure12(o Opts) *Table {
 func ExpFigure13(o Opts) []*Table {
 	dur := o.scale(60.0)
 	rng := rand.New(rand.NewSource(13))
+	// The trace is read-only once built, so both scenarios share it safely
+	// across concurrent simulators.
 	tr := trace.Cellular(trace.DefaultCellular(), dur, rng)
 
-	var tables []*Table
-	for _, scheme := range []string{"astraea", "vivace"} {
-		res := runner.MustRun(runner.Scenario{
+	schemes := []string{"astraea", "vivace"}
+	grid := make([]runner.Scenario, len(schemes))
+	for i, scheme := range schemes {
+		grid[i] = runner.Scenario{
 			Seed: 13, RateBps: tr.RateAt(0), BaseRTT: 0.040,
 			QueueBytes: 8_000_000, Duration: dur, Trace: tr,
 			Flows: []runner.FlowSpec{{Scheme: scheme}},
-		})
+		}
+	}
+	results := runAll(o, grid)
+	var tables []*Table
+	for si, scheme := range schemes {
+		res := results[si]
 		t := &Table{
 			ID:      "fig13-" + scheme,
 			Title:   "Cellular link adaptation: " + scheme + " (synthetic LTE trace)",
@@ -80,24 +88,36 @@ func ExpFigure21(o Opts) *Table {
 		Columns: []string{"scheme", "tput_mbps", "norm_delay", "loss"},
 	}
 	dur := o.scale(60.0)
+	trials := o.trials()
+	// One trace per trial, built once and shared read-only by every scheme
+	// (the serial code rebuilt an identical trace per scheme × trial).
+	traces := make([]*trace.Trace, trials)
+	for trial := range traces {
+		rng := rand.New(rand.NewSource(int64(2100 + trial)))
+		traces[trial] = trace.Cellular(trace.DefaultCellular(), dur, rng)
+	}
+	grid := make([]runner.Scenario, 0, len(Schemes)*trials)
 	for _, scheme := range Schemes {
-		var tputSum, delaySum, lossSum float64
-		for trial := 0; trial < o.trials(); trial++ {
-			rng := rand.New(rand.NewSource(int64(2100 + trial)))
-			tr := trace.Cellular(trace.DefaultCellular(), dur, rng)
-			res := runner.MustRun(runner.Scenario{
-				Seed: int64(trial), RateBps: tr.RateAt(0), BaseRTT: 0.040,
-				QueueBytes: 8_000_000, Duration: dur, Trace: tr,
+		for trial := 0; trial < trials; trial++ {
+			grid = append(grid, runner.Scenario{
+				Seed: int64(trial), RateBps: traces[trial].RateAt(0), BaseRTT: 0.040,
+				QueueBytes: 8_000_000, Duration: dur, Trace: traces[trial],
 				Flows: []runner.FlowSpec{{Scheme: scheme}},
 			})
-			fr := res.Flows[0]
+		}
+	}
+	results := runAll(o, grid)
+	for si, scheme := range Schemes {
+		var tputSum, delaySum, lossSum float64
+		for trial := 0; trial < trials; trial++ {
+			fr := results[si*trials+trial].Flows[0]
 			tputSum += fr.AvgTputBps
 			if fr.MinRTT > 0 {
 				delaySum += fr.AvgRTT / 0.040
 			}
 			lossSum += fr.LossRate
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{
 			scheme, mbps(tputSum / n), f2(delaySum / n), f4(lossSum / n),
 		})

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// renderAll flattens a figure's tables into one comparable string.
+func renderAll(tables []*Table) string {
+	var s string
+	for _, t := range tables {
+		s += t.String() + "\n" + t.CSV() + "\n"
+	}
+	return s
+}
+
+// TestFigure6ParallelMatchesSerial is the determinism regression for the
+// batch engine: the rendered Fig. 6 tables must be byte-identical whether
+// the scenario grid runs serially or across four workers.
+func TestFigure6ParallelMatchesSerial(t *testing.T) {
+	o := Opts{Trials: 1, TimeScale: 0.1}
+	o.Workers = 1
+	serial := renderAll(ExpFigure6(o))
+	o.Workers = 4
+	parallel := renderAll(ExpFigure6(o))
+	if serial != parallel {
+		t.Fatalf("fig6 tables differ between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestSameSeedScenarioIsReproducible pins the pure-function contract the
+// batch engine relies on: rerunning one scenario with the same seed yields
+// identical flow summaries.
+func TestSameSeedScenarioIsReproducible(t *testing.T) {
+	sc := runner.Scenario{
+		Seed: 42, RateBps: 50e6, BaseRTT: 0.040, QueueBDP: 1, Duration: 5,
+		Flows: []runner.FlowSpec{{Scheme: "astraea"}, {Scheme: "cubic"}},
+	}
+	a := runner.MustRun(sc)
+	b := runner.MustRun(sc)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a.Flows), len(b.Flows))
+	}
+	if a.Utilization != b.Utilization {
+		t.Fatalf("utilization differs: %v vs %v", a.Utilization, b.Utilization)
+	}
+	for i := range a.Flows {
+		fa, fb := a.Flows[i], b.Flows[i]
+		if fa.AvgTputBps != fb.AvgTputBps || fa.AvgRTT != fb.AvgRTT ||
+			fa.MinRTT != fb.MinRTT || fa.LossRate != fb.LossRate {
+			t.Fatalf("flow %d summaries differ: %+v vs %+v", i, fa, fb)
+		}
+	}
+}

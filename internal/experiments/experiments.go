@@ -27,6 +27,11 @@ type Opts struct {
 	Trials int
 	// TimeScale multiplies scenario durations (1.0 = paper's).
 	TimeScale float64
+	// Workers bounds how many scenarios run concurrently; <= 0 selects
+	// GOMAXPROCS. Results are identical for any worker count: every
+	// scenario is a pure function of its seed and config, and the batch
+	// engine returns results in submission order.
+	Workers int
 }
 
 // Quick returns CI-friendly settings.
@@ -47,6 +52,27 @@ func (o Opts) scale(d float64) float64 {
 		return d
 	}
 	return d * o.TimeScale
+}
+
+// runAll executes the scenario grid through the batch engine, in submission
+// order. Experiments build their full grid up front, then aggregate by
+// index; nested scheme × config × trial loops become index arithmetic.
+func runAll(o Opts, grid []runner.Scenario) []*runner.Result {
+	return runner.MustRunBatch(grid, o.Workers)
+}
+
+// forEach fans n hand-built jobs (multi-bottleneck topologies, parking-lot
+// sims — anything that is not a plain Scenario) across the worker pool.
+// Each job must be self-contained: build its own simulator, write only into
+// its own result slot.
+func forEach(o Opts, n int, fn func(i int)) {
+	err := runner.ForEach(n, o.Workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // Schemes evaluated across the comparison figures, in presentation order.

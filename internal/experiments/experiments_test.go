@@ -150,6 +150,9 @@ func relErr(got, want float64) float64 {
 }
 
 func TestFigure16BatchServiceWins(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("wall-clock contrast is not meaningful under the race detector")
+	}
 	tables := ExpFigure16(Opts{})
 	tb := tables[1]
 	// At 500+ flows the batch service must beat per-flow servers.

@@ -20,61 +20,76 @@ type convStats struct {
 	Util     float64
 }
 
-// convergenceStats runs the Fig. 6 scenario (100 Mbps, 30 ms, 1 BDP; flows
-// staggered 40 s apart for 120 s each) averaged over the configured trials.
-func convergenceStats(o Opts, scheme string, nFlows int) convStats {
+// convergenceStatsAll runs the Fig. 6 scenario (100 Mbps, 30 ms, 1 BDP;
+// flows staggered 40 s apart for 120 s each) for every listed scheme at
+// once, averaged over the configured trials. The full scheme × trial grid
+// is submitted to the batch engine up front.
+func convergenceStatsAll(o Opts, schemes []string, nFlows int) []convStats {
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := float64(nFlows-1)*interval + flowDur
+	trials := o.trials()
 
-	var jainSum, convSum, stabSum, utilSum float64
-	var convN, stabN int
-	for trial := 0; trial < o.trials(); trial++ {
-		res := runner.MustRun(runner.Scenario{
-			Seed: int64(1000 + trial), RateBps: 100e6, BaseRTT: 0.030,
-			QueueBDP: 1, Duration: dur,
-			Flows: staggeredFlows(scheme, nFlows, interval, flowDur),
-		})
-		jains := metrics.JainOverTime(tputSeries(res), 1e6)
-		jainSum += metrics.Mean(jains)
-		utilSum += res.Utilization
+	grid := make([]runner.Scenario, 0, len(schemes)*trials)
+	for _, scheme := range schemes {
+		for trial := 0; trial < trials; trial++ {
+			grid = append(grid, runner.Scenario{
+				Seed: int64(1000 + trial), RateBps: 100e6, BaseRTT: 0.030,
+				QueueBDP: 1, Duration: dur,
+				Flows: staggeredFlows(scheme, nFlows, interval, flowDur),
+			})
+		}
+	}
+	results := runAll(o, grid)
 
-		// Convergence of each arriving flow toward its fair share at the
-		// moment all earlier flows are present. The rate is smoothed over
-		// 1 s first so sawtooth schemes are judged on their average rate.
-		for i := 1; i < nFlows; i++ {
-			event := float64(i) * interval
-			fair := 100e6 / float64(i+1)
-			smoothed := metrics.Smooth(res.Flows[i].Tput, 1.0)
-			ct := metrics.ConvergenceTime(smoothed, event, fair, 0.10, 0.5)
-			if ct >= 0 {
-				convSum += ct
-				convN++
-				end := event + interval
-				if end > dur {
-					end = dur
-				}
-				if st := metrics.StdDev(res.Flows[i].Tput.Slice(event+ct, end)); st > 0 {
-					stabSum += st
-					stabN++
+	out := make([]convStats, len(schemes))
+	for si, scheme := range schemes {
+		var jainSum, convSum, stabSum, utilSum float64
+		var convN, stabN int
+		for trial := 0; trial < trials; trial++ {
+			res := results[si*trials+trial]
+			jains := metrics.JainOverTime(tputSeries(res), 1e6)
+			jainSum += metrics.Mean(jains)
+			utilSum += res.Utilization
+
+			// Convergence of each arriving flow toward its fair share at the
+			// moment all earlier flows are present. The rate is smoothed over
+			// 1 s first so sawtooth schemes are judged on their average rate.
+			for i := 1; i < nFlows; i++ {
+				event := float64(i) * interval
+				fair := 100e6 / float64(i+1)
+				smoothed := metrics.Smooth(res.Flows[i].Tput, 1.0)
+				ct := metrics.ConvergenceTime(smoothed, event, fair, 0.10, 0.5)
+				if ct >= 0 {
+					convSum += ct
+					convN++
+					end := event + interval
+					if end > dur {
+						end = dur
+					}
+					if st := metrics.StdDev(res.Flows[i].Tput.Slice(event+ct, end)); st > 0 {
+						stabSum += st
+						stabN++
+					}
 				}
 			}
 		}
+		cs := convStats{Scheme: scheme}
+		cs.Jain = jainSum / float64(trials)
+		cs.Util = utilSum / float64(trials)
+		if convN > 0 {
+			cs.ConvTime = convSum / float64(convN)
+		} else {
+			cs.ConvTime = -1
+		}
+		if stabN > 0 {
+			cs.Stab = stabSum / float64(stabN)
+		} else {
+			cs.Stab = -1
+		}
+		out[si] = cs
 	}
-	cs := convStats{Scheme: scheme}
-	cs.Jain = jainSum / float64(o.trials())
-	cs.Util = utilSum / float64(o.trials())
-	if convN > 0 {
-		cs.ConvTime = convSum / float64(convN)
-	} else {
-		cs.ConvTime = -1
-	}
-	if stabN > 0 {
-		cs.Stab = stabSum / float64(stabN)
-	} else {
-		cs.Stab = -1
-	}
-	return cs
+	return out
 }
 
 // ExpFigure6 reproduces the temporal-convergence panels: per-scheme
@@ -83,12 +98,17 @@ func ExpFigure6(o Opts) []*Table {
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := 2*interval + flowDur
-	var tables []*Table
-	for _, scheme := range Schemes {
-		res := runner.MustRun(runner.Scenario{
+	grid := make([]runner.Scenario, len(Schemes))
+	for i, scheme := range Schemes {
+		grid[i] = runner.Scenario{
 			Seed: 6, RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1, Duration: dur,
 			Flows: staggeredFlows(scheme, 3, interval, flowDur),
-		})
+		}
+	}
+	results := runAll(o, grid)
+	var tables []*Table
+	for si, scheme := range Schemes {
+		res := results[si]
 		t := &Table{
 			ID:      "fig6-" + scheme,
 			Title:   fmt.Sprintf("Temporal convergence of %s (100 Mbps, 30 ms, 1 BDP)", scheme),
@@ -121,15 +141,22 @@ func ExpFigure7(o Opts) *Table {
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := 2*interval + flowDur
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(Schemes)*trials)
 	for _, scheme := range Schemes {
-		var all []float64
-		for trial := 0; trial < o.trials(); trial++ {
-			res := runner.MustRun(runner.Scenario{
+		for trial := 0; trial < trials; trial++ {
+			grid = append(grid, runner.Scenario{
 				Seed: int64(700 + trial), RateBps: 100e6, BaseRTT: 0.030,
 				QueueBDP: 1, Duration: dur,
 				Flows: staggeredFlows(scheme, 3, interval, flowDur),
 			})
-			all = append(all, metrics.JainOverTime(tputSeries(res), 1e6)...)
+		}
+	}
+	results := runAll(o, grid)
+	for si, scheme := range Schemes {
+		var all []float64
+		for trial := 0; trial < trials; trial++ {
+			all = append(all, metrics.JainOverTime(tputSeries(results[si*trials+trial]), 1e6)...)
 		}
 		t.Rows = append(t.Rows, []string{
 			scheme,
@@ -152,20 +179,27 @@ func ExpFigure8(o Opts) *Table {
 		Columns: []string{"scheme", "rtt40", "rtt80", "rtt120", "rtt160", "rtt200", "jain"},
 	}
 	dur := o.scale(120.0)
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(Schemes)*trials)
 	for _, scheme := range Schemes {
-		sums := make([]float64, 5)
-		for trial := 0; trial < o.trials(); trial++ {
+		for trial := 0; trial < trials; trial++ {
 			flows := make([]runner.FlowSpec, 5)
 			for i := range flows {
 				extra := float64(i) * 0.040 // on top of the 40 ms base
 				flows[i] = runner.FlowSpec{Scheme: scheme, ExtraDelay: extra}
 			}
-			res := runner.MustRun(runner.Scenario{
+			grid = append(grid, runner.Scenario{
 				Seed: int64(800 + trial), RateBps: 100e6, BaseRTT: 0.040,
 				QueueBytes: netem.BDPBytes(100e6, 0.200), Duration: dur,
 				Flows: flows,
 			})
-			for i, fr := range res.Flows {
+		}
+	}
+	results := runAll(o, grid)
+	for si, scheme := range Schemes {
+		sums := make([]float64, 5)
+		for trial := 0; trial < trials; trial++ {
+			for i, fr := range results[si*trials+trial].Flows {
 				sums[i] += fr.AvgTputWindow(o.scale(20), dur)
 			}
 		}
@@ -192,23 +226,35 @@ func ExpFigure9(o Opts) *Table {
 	}
 	bws := []float64{20e6, 50e6, 100e6, 200e6}
 	rtts := []float64{0.030, 0.060, 0.100, 0.150, 0.200}
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(bws)*len(rtts)*trials)
 	for bi, bw := range bws {
 		for ri, rtt := range rtts {
 			n := 2 + (bi+ri)%5 // deterministic 2..6 flows, mirrors the random 2..8
-			var jainSum float64
-			for trial := 0; trial < o.trials(); trial++ {
-				interval := o.scale(20.0)
-				flowDur := o.scale(20.0) * float64(n)
-				dur := float64(n-1)*interval + flowDur
-				res := runner.MustRun(runner.Scenario{
+			interval := o.scale(20.0)
+			flowDur := o.scale(20.0) * float64(n)
+			dur := float64(n-1)*interval + flowDur
+			for trial := 0; trial < trials; trial++ {
+				grid = append(grid, runner.Scenario{
 					Seed: int64(900 + trial + bi*31 + ri*7), RateBps: bw, BaseRTT: rtt,
 					QueueBDP: 1, Duration: dur,
 					Flows: staggeredFlows("astraea", n, interval, flowDur),
 				})
-				jainSum += metrics.Mean(metrics.JainOverTime(tputSeries(res), bw/100))
+			}
+		}
+	}
+	results := runAll(o, grid)
+	idx := 0
+	for bi, bw := range bws {
+		for ri, rtt := range rtts {
+			n := 2 + (bi+ri)%5
+			var jainSum float64
+			for trial := 0; trial < trials; trial++ {
+				jainSum += metrics.Mean(metrics.JainOverTime(tputSeries(results[idx]), bw/100))
+				idx++
 			}
 			t.Rows = append(t.Rows, []string{
-				mbps(bw), f1(rtt * 1000), fmt.Sprint(n), f3(jainSum / float64(o.trials())),
+				mbps(bw), f1(rtt * 1000), fmt.Sprint(n), f3(jainSum / float64(trials)),
 			})
 		}
 	}
@@ -224,23 +270,31 @@ func ExpFigure10(o Opts) *Table {
 		Title:   "Astraea fairness vs number of competing flows (600 Mbps, 20 ms)",
 		Columns: []string{"flows", "jain", "utilization"},
 	}
-	for _, n := range []int{10, 20, 30, 40, 50} {
-		var jainSum, utilSum float64
-		trials := o.trials()
-		if trials > 3 {
-			trials = 3 // 50 flows × 10 trials would dominate total runtime
-		}
+	ns := []int{10, 20, 30, 40, 50}
+	trials := o.trials()
+	if trials > 3 {
+		trials = 3 // 50 flows × 10 trials would dominate total runtime
+	}
+	dur := o.scale(40.0)
+	grid := make([]runner.Scenario, 0, len(ns)*trials)
+	for _, n := range ns {
 		for trial := 0; trial < trials; trial++ {
-			dur := o.scale(40.0)
 			flows := make([]runner.FlowSpec, n)
 			for i := range flows {
 				flows[i] = runner.FlowSpec{Scheme: "astraea", Start: float64(i%10) * 0.2}
 			}
-			res := runner.MustRun(runner.Scenario{
+			grid = append(grid, runner.Scenario{
 				Seed: int64(1100 + trial), RateBps: 600e6, BaseRTT: 0.020,
 				QueueBDP: 1, Duration: dur,
 				Flows: flows,
 			})
+		}
+	}
+	results := runAll(o, grid)
+	for ni, n := range ns {
+		var jainSum, utilSum float64
+		for trial := 0; trial < trials; trial++ {
+			res := results[ni*trials+trial]
 			var avgs []float64
 			for _, fr := range res.Flows {
 				avgs = append(avgs, fr.AvgTputWindow(dur/2, dur))
@@ -267,9 +321,11 @@ func ExpFigure10Large(o Opts) *Table {
 		Title:   "Astraea fairness at large flow counts (capacity scaled, 20 ms)",
 		Columns: []string{"flows", "bw_gbps", "jain", "utilization"},
 	}
-	for _, n := range []int{100, 300, 1000} {
+	ns := []int{100, 300, 1000}
+	dur := o.scale(15.0)
+	grid := make([]runner.Scenario, len(ns))
+	for ni, n := range ns {
 		bw := 6e6 * float64(n)
-		dur := o.scale(15.0)
 		flows := make([]runner.FlowSpec, n)
 		for i := range flows {
 			flows[i] = runner.FlowSpec{Scheme: "astraea", Start: float64(i%20) * 0.05}
@@ -279,17 +335,21 @@ func ExpFigure10Large(o Opts) *Table {
 		// construction for every n, so the large-N regime needs a buffer
 		// sized for per-flow occupancy (4 BDP here), as the paper's
 		// TC-based setup would have had.
-		res := runner.MustRun(runner.Scenario{
+		grid[ni] = runner.Scenario{
 			Seed: 1150, RateBps: bw, BaseRTT: 0.020,
 			QueueBDP: 4, Duration: dur,
 			Flows: flows,
-		})
+		}
+	}
+	results := runAll(o, grid)
+	for ni, n := range ns {
+		res := results[ni]
 		var avgs []float64
 		for _, fr := range res.Flows {
 			avgs = append(avgs, fr.AvgTputWindow(dur/2, dur))
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), f1(bw / 1e9), f3(metrics.Jain(avgs)), f3(res.Utilization),
+			fmt.Sprint(n), f1(6e6 * float64(n) / 1e9), f3(metrics.Jain(avgs)), f3(res.Utilization),
 		})
 	}
 	t.Note = "paper reports 'high fairness' up to 1000 flows (prose, no index given). Measured: high through " +
@@ -310,15 +370,24 @@ func ExpFigure11(o Opts) *Table {
 		Title:   "Multi-bottleneck fairness (Link1 100 Mbps shared; FS-2 also crosses Link2 20 Mbps)",
 		Columns: []string{"fs1_flows", "fs1_avg_mbps", "fs2_avg_mbps", "fs1_ideal", "fs2_ideal"},
 	}
-	for _, n1 := range []int{2, 4, 6, 8, 10, 12} {
+	n1s := []int{2, 4, 6, 8, 10, 12}
+	trials := o.trials()
+	// Hand-built topology, not a Scenario: fan the flat n1 × trial job list
+	// across the pool; each job writes only its own slots.
+	fs1s := make([]float64, len(n1s)*trials)
+	fs2s := make([]float64, len(n1s)*trials)
+	forEach(o, len(n1s)*trials, func(j int) {
+		n1, trial := n1s[j/trials], j%trials
+		fs1s[j], fs2s[j] = runMultiBottleneck(o, int64(1200+trial), n1, 2)
+	})
+	for ni, n1 := range n1s {
 		var fs1Sum, fs2Sum float64
-		for trial := 0; trial < o.trials(); trial++ {
-			fs1, fs2 := runMultiBottleneck(o, int64(1200+trial), n1, 2)
-			fs1Sum += fs1
-			fs2Sum += fs2
+		for trial := 0; trial < trials; trial++ {
+			fs1Sum += fs1s[ni*trials+trial]
+			fs2Sum += fs2s[ni*trials+trial]
 		}
-		fs1Avg := fs1Sum / float64(o.trials())
-		fs2Avg := fs2Sum / float64(o.trials())
+		fs1Avg := fs1Sum / float64(trials)
+		fs2Avg := fs2Sum / float64(trials)
 		// Ideal max-min allocation.
 		var fs1Ideal, fs2Ideal float64
 		perFlowIfShared := 100e6 / float64(n1+2)

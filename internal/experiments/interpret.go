@@ -79,15 +79,17 @@ func ExpFigure18(o Opts) *Table {
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := 2*interval + flowDur
-	for _, delta := range []float64{0.02, 0.05, 0.08, 0.15, 0.25, 0.35} {
-		var jainSum, utilSum float64
-		for trial := 0; trial < o.trials(); trial++ {
+	deltas := []float64{0.02, 0.05, 0.08, 0.15, 0.25, 0.35}
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(deltas)*trials)
+	for _, delta := range deltas {
+		for trial := 0; trial < trials; trial++ {
 			mk := func() *core.Agent {
 				p := core.NewReferencePolicy(cfg)
 				p.SetDelta(delta)
 				return core.NewAgent(cfg, p)
 			}
-			res := runner.MustRun(runner.Scenario{
+			grid = append(grid, runner.Scenario{
 				Seed: int64(1800 + trial), RateBps: 100e6, BaseRTT: 0.030,
 				QueueBDP: 1, Duration: dur,
 				Flows: []runner.FlowSpec{
@@ -96,10 +98,17 @@ func ExpFigure18(o Opts) *Table {
 					{CC: mk(), Start: 2 * interval, Duration: flowDur},
 				},
 			})
+		}
+	}
+	results := runAll(o, grid)
+	for di, delta := range deltas {
+		var jainSum, utilSum float64
+		for trial := 0; trial < trials; trial++ {
+			res := results[di*trials+trial]
 			jainSum += metrics.Mean(metrics.JainOverTime(tputSeries(res), 1e6))
 			utilSum += res.Utilization
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f", delta), f3(jainSum / n), f3(utilSum / n),
 		})

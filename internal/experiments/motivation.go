@@ -107,8 +107,9 @@ func ExpTable1(o Opts) *Table {
 		Title:   "Comparison of learning-based algorithms (derived from measurement)",
 		Columns: []string{"algorithm", "jain", "conv_time_s", "stddev_mbps", "fairness", "fast_conv", "stability"},
 	}
-	for _, scheme := range []string{"aurora", "vivace", "orca", "astraea"} {
-		cs := convergenceStats(o, scheme, 3)
+	schemes := []string{"aurora", "vivace", "orca", "astraea"}
+	for _, cs := range convergenceStatsAll(o, schemes, 3) {
+		scheme := cs.Scheme
 		mark := func(ok bool) string {
 			if ok {
 				return "yes"

@@ -20,14 +20,23 @@ func ExpParkingLot(o Opts) *Table {
 		Title:   "Parking-lot max-min: long-flow share across k hops (astraea, 50 Mbps links)",
 		Columns: []string{"hops", "long_mbps", "short_avg_mbps", "maxmin_long"},
 	}
-	for _, k := range []int{1, 2, 3, 4} {
+	ks := []int{1, 2, 3, 4}
+	trials := o.trials()
+	longs := make([]float64, len(ks)*trials)
+	shorts := make([]float64, len(ks)*trials)
+	// Each job builds its own topology and simulator; jobs write only their
+	// own slot, so they fan across the worker pool safely.
+	forEach(o, len(longs), func(job int) {
+		k, trial := ks[job/trials], job%trials
+		longs[job], shorts[job] = runParkingLot(o, int64(2800+trial), k)
+	})
+	for ki, k := range ks {
 		var longSum, shortSum float64
-		for trial := 0; trial < o.trials(); trial++ {
-			long, short := runParkingLot(o, int64(2800+trial), k)
-			longSum += long
-			shortSum += short
+		for trial := 0; trial < trials; trial++ {
+			longSum += longs[ki*trials+trial]
+			shortSum += shorts[ki*trials+trial]
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(k), mbps(longSum / n), mbps(shortSum / n), mbps(25e6),
 		})

@@ -17,23 +17,38 @@ func ExpFigure14(o Opts) *Table {
 		Columns: []string{"scheme", "vs1_cubic", "vs2_cubic", "vs3_cubic", "vs4_cubic"},
 	}
 	dur := o.scale(60.0)
+	trials := o.trials()
+	var evalSchemes []string
 	for _, scheme := range Schemes {
-		if scheme == "cubic" {
-			continue
+		if scheme != "cubic" {
+			evalSchemes = append(evalSchemes, scheme)
 		}
-		row := []string{scheme}
+	}
+	var grid []runner.Scenario
+	for _, scheme := range evalSchemes {
 		for n := 1; n <= 4; n++ {
-			var ratioSum float64
-			for trial := 0; trial < o.trials(); trial++ {
+			for trial := 0; trial < trials; trial++ {
 				flows := []runner.FlowSpec{{Scheme: scheme}}
 				for i := 0; i < n; i++ {
 					flows = append(flows, runner.FlowSpec{Scheme: "cubic"})
 				}
-				res := runner.MustRun(runner.Scenario{
+				grid = append(grid, runner.Scenario{
 					Seed: int64(1400 + trial*10 + n), RateBps: 100e6, BaseRTT: 0.030,
 					QueueBDP: 1, Duration: dur,
 					Flows: flows,
 				})
+			}
+		}
+	}
+	results := runAll(o, grid)
+	idx := 0
+	for _, scheme := range evalSchemes {
+		row := []string{scheme}
+		for n := 1; n <= 4; n++ {
+			var ratioSum float64
+			for trial := 0; trial < trials; trial++ {
+				res := results[idx]
+				idx++
 				eval := res.Flows[0].AvgTputWindow(dur/4, dur)
 				var cubicSum float64
 				for _, fr := range res.Flows[1:] {
@@ -46,7 +61,7 @@ func ExpFigure14(o Opts) *Table {
 					ratioSum += 100
 				}
 			}
-			row = append(row, f2(ratioSum/float64(o.trials())))
+			row = append(row, f2(ratioSum/float64(trials)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -69,6 +84,22 @@ func ExpFigure15(o Opts) []*Table {
 		{"fig15b", "Inter-continental WAN (emulated, 150 ms, cross-traffic)", 0.150, 1000e6, 200e6},
 	}
 	dur := o.scale(60.0)
+	trials := o.trials()
+	var grid []runner.Scenario
+	for _, cl := range classes {
+		for _, scheme := range Schemes {
+			for trial := 0; trial < trials; trial++ {
+				grid = append(grid, runner.Scenario{
+					Seed: int64(1500 + trial), RateBps: cl.rate, BaseRTT: cl.rtt,
+					QueueBDP: 2, Duration: dur,
+					CrossBps: cl.crossBps, Jitter: 0.001,
+					Flows: []runner.FlowSpec{{Scheme: scheme}},
+				})
+			}
+		}
+	}
+	results := runAll(o, grid)
+	idx := 0
 	var tables []*Table
 	for _, cl := range classes {
 		t := &Table{
@@ -78,19 +109,14 @@ func ExpFigure15(o Opts) []*Table {
 		}
 		for _, scheme := range Schemes {
 			var tputSum, owdSum, lossSum float64
-			for trial := 0; trial < o.trials(); trial++ {
-				res := runner.MustRun(runner.Scenario{
-					Seed: int64(1500 + trial), RateBps: cl.rate, BaseRTT: cl.rtt,
-					QueueBDP: 2, Duration: dur,
-					CrossBps: cl.crossBps, Jitter: 0.001,
-					Flows: []runner.FlowSpec{{Scheme: scheme}},
-				})
-				fr := res.Flows[0]
+			for trial := 0; trial < trials; trial++ {
+				fr := results[idx].Flows[0]
+				idx++
 				tputSum += fr.AvgTputBps
 				owdSum += fr.AvgRTT / 2
 				lossSum += fr.LossRate
 			}
-			n := float64(o.trials())
+			n := float64(trials)
 			t.Rows = append(t.Rows, []string{
 				scheme, mbps(tputSum / n), f1(owdSum / n * 1000), f4(lossSum / n),
 			})
@@ -118,18 +144,30 @@ func ExpFigure19(o Opts) []*Table {
 	tLoss := mk("fig19c", "Loss rate vs buffer size")
 
 	dur := o.scale(40.0)
+	trials := o.trials()
+	var grid []runner.Scenario
 	for _, scheme := range Schemes {
-		rowT := []string{scheme}
-		rowL := []string{scheme}
-		rowX := []string{scheme}
 		for _, b := range bufs {
-			var uSum, lSum, xSum float64
-			for trial := 0; trial < o.trials(); trial++ {
-				res := runner.MustRun(runner.Scenario{
+			for trial := 0; trial < trials; trial++ {
+				grid = append(grid, runner.Scenario{
 					Seed: int64(1900 + trial), RateBps: 100e6, BaseRTT: 0.030,
 					QueueBDP: b, Duration: dur,
 					Flows: []runner.FlowSpec{{Scheme: scheme}},
 				})
+			}
+		}
+	}
+	results := runAll(o, grid)
+	idx := 0
+	for _, scheme := range Schemes {
+		rowT := []string{scheme}
+		rowL := []string{scheme}
+		rowX := []string{scheme}
+		for range bufs {
+			var uSum, lSum, xSum float64
+			for trial := 0; trial < trials; trial++ {
+				res := results[idx]
+				idx++
 				fr := res.Flows[0]
 				uSum += res.Utilization
 				if fr.AvgRTT > 0 {
@@ -137,7 +175,7 @@ func ExpFigure19(o Opts) []*Table {
 				}
 				xSum += fr.LossRate
 			}
-			n := float64(o.trials())
+			n := float64(trials)
 			rowT = append(rowT, f3(uSum/n))
 			rowL = append(rowL, f2(lSum/n))
 			rowX = append(rowX, f4(xSum/n))
@@ -161,20 +199,27 @@ func ExpFigure20(o Opts) *Table {
 		Columns: []string{"scheme", "tput_mbps", "norm_delay", "loss"},
 	}
 	dur := o.scale(100.0)
+	trials := o.trials()
+	grid := make([]runner.Scenario, 0, len(Schemes)*trials)
 	for _, scheme := range Schemes {
-		var tputSum, delaySum, lossSum float64
-		for trial := 0; trial < o.trials(); trial++ {
-			res := runner.MustRun(runner.Scenario{
+		for trial := 0; trial < trials; trial++ {
+			grid = append(grid, runner.Scenario{
 				Seed: int64(2000 + trial), RateBps: 42e6, BaseRTT: 0.800,
 				QueueBDP: 1, LossProb: 0.0074, Duration: dur,
 				Flows: []runner.FlowSpec{{Scheme: scheme}},
 			})
-			fr := res.Flows[0]
+		}
+	}
+	results := runAll(o, grid)
+	for si, scheme := range Schemes {
+		var tputSum, delaySum, lossSum float64
+		for trial := 0; trial < trials; trial++ {
+			fr := results[si*trials+trial].Flows[0]
 			tputSum += fr.AvgTputBps
 			delaySum += fr.AvgRTT / 0.800
 			lossSum += fr.LossRate
 		}
-		n := float64(o.trials())
+		n := float64(trials)
 		t.Rows = append(t.Rows, []string{
 			scheme, mbps(tputSum / n), f2(delaySum / n), f4(lossSum / n),
 		})
@@ -192,13 +237,17 @@ func ExpFigure22(o Opts) *Table {
 		Columns: []string{"scheme", "tput_mbps", "avg_rtt_ms"},
 	}
 	dur := o.scale(20.0)
-	for _, scheme := range Schemes {
-		res := runner.MustRun(runner.Scenario{
+	grid := make([]runner.Scenario, len(Schemes))
+	for i, scheme := range Schemes {
+		grid[i] = runner.Scenario{
 			Seed: 22, RateBps: 10e9, BaseRTT: 0.010,
 			QueueBDP: 1, Duration: dur,
 			Flows: []runner.FlowSpec{{Scheme: scheme}},
-		})
-		fr := res.Flows[0]
+		}
+	}
+	results := runAll(o, grid)
+	for si, scheme := range Schemes {
+		fr := results[si].Flows[0]
 		t.Rows = append(t.Rows, []string{scheme, mbps(fr.AvgTputBps), f2(fr.AvgRTT * 1000)})
 	}
 	t.Note = "paper: Astraea outruns Orca and Vivace via fast convergence to link bandwidth, with low latency"

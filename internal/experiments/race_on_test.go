@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled lets wall-clock performance assertions skip under the
+// race detector, whose ~10x instrumentation slowdown and altered goroutine
+// scheduling make timing contrasts meaningless.
+const raceDetectorEnabled = true

@@ -17,6 +17,7 @@ type CrossTraffic struct {
 	BurstMean float64 // mean packets per burst (geometric)
 
 	stopped bool
+	hops    []Hop // reused across injected packets
 }
 
 // Start begins injection. Packets are fire-and-forget: delivered ones
@@ -29,6 +30,7 @@ func (c *CrossTraffic) Start() {
 	if c.BurstMean < 1 {
 		c.BurstMean = 1
 	}
+	c.hops = []Hop{c.Link}
 	c.scheduleNext()
 }
 
@@ -54,8 +56,9 @@ func (c *CrossTraffic) scheduleNext() {
 			}
 		}
 		for i := 0; i < n; i++ {
-			p := &Packet{FlowID: -1, Size: c.PktSize, SentAt: c.Sim.Now()}
-			SendOver(p, []Hop{c.Link}, func(*Packet) {}, func(*Packet, string) {})
+			p := AcquirePacket()
+			p.FlowID, p.Size, p.SentAt = -1, c.PktSize, c.Sim.Now()
+			SendOver(p, c.hops, func(*Packet) {}, func(*Packet, string) {})
 		}
 		c.scheduleNext()
 	})

@@ -4,9 +4,15 @@
 // Mahimahi and pantheon-tunnel play in the paper's testbed.
 package netem
 
+import "sync"
+
 // Packet is the unit of transmission. The transport layer owns the payload
 // semantics (sequence numbers, ACK flags); netem only moves packets along a
 // sequence of hops, delaying and dropping them.
+//
+// Packets are pool-recycled once their journey ends: after the deliver or
+// drop callback returns, the packet is reset and reused. Callbacks must
+// therefore copy out any fields they need rather than retaining the pointer.
 type Packet struct {
 	FlowID  int
 	Seq     int64
@@ -32,6 +38,19 @@ type Hop interface {
 	Send(p *Packet, next func(*Packet))
 }
 
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AcquirePacket returns a zeroed packet, recycled from the pool when
+// possible. Packets handed to SendOver are released back automatically when
+// they are delivered or dropped; directly-constructed packets also end up in
+// the pool, which is harmless.
+func AcquirePacket() *Packet { return packetPool.Get().(*Packet) }
+
+func releasePacket(p *Packet) {
+	*p = Packet{}
+	packetPool.Put(p)
+}
+
 // SendOver launches p across hops; deliver runs when the last hop hands the
 // packet over, onDrop (optional) when any hop drops it, with a reason string.
 func SendOver(p *Packet, hops []Hop, deliver func(*Packet), onDrop func(*Packet, string)) {
@@ -45,6 +64,7 @@ func SendOver(p *Packet, hops []Hop, deliver func(*Packet), onDrop func(*Packet,
 func (p *Packet) advance() {
 	if p.hopIdx >= len(p.hops) {
 		p.deliver(p)
+		releasePacket(p)
 		return
 	}
 	h := p.hops[p.hopIdx]
@@ -52,9 +72,11 @@ func (p *Packet) advance() {
 	h.Send(p, func(q *Packet) { q.advance() })
 }
 
-// Drop terminates the packet's journey. Hops call this instead of next.
+// Drop terminates the packet's journey and recycles the packet. Hops call
+// this instead of next and must not touch the packet afterwards.
 func (p *Packet) Drop(reason string) {
 	if p.onDrop != nil {
 		p.onDrop(p, reason)
 	}
+	releasePacket(p)
 }

@@ -117,6 +117,7 @@ type MLP struct {
 	// for concurrent use.
 	acts    [][]float64 // acts[0] = input copy, acts[i] = output of layer i-1
 	preacts [][]float64
+	grads   [][]float64 // backward scratch, same shapes as acts
 }
 
 // NewMLP builds an MLP with the given layer sizes; sizes[0] is the input
@@ -140,10 +141,13 @@ func NewMLP(rng *rand.Rand, hiddenAct, outAct Activation, sizes ...int) *MLP {
 func (m *MLP) allocScratch() {
 	m.acts = make([][]float64, len(m.Layers)+1)
 	m.preacts = make([][]float64, len(m.Layers))
+	m.grads = make([][]float64, len(m.Layers)+1)
 	m.acts[0] = make([]float64, m.Layers[0].In)
+	m.grads[0] = make([]float64, m.Layers[0].In)
 	for i, l := range m.Layers {
 		m.acts[i+1] = make([]float64, l.Out)
 		m.preacts[i] = make([]float64, l.Out)
+		m.grads[i+1] = make([]float64, l.Out)
 	}
 }
 
@@ -167,23 +171,25 @@ func (m *MLP) Forward(x []float64) []float64 {
 }
 
 // Backward accumulates parameter gradients for the last Forward call, given
-// dLoss/dOutput, and returns dLoss/dInput.
+// dLoss/dOutput, and returns dLoss/dInput. The returned slice is scratch
+// owned by the MLP, valid until the next Backward call; copy it to retain.
 func (m *MLP) Backward(dOut []float64) []float64 {
-	grad := append([]float64(nil), dOut...)
-	for li := len(m.Layers) - 1; li >= 0; li-- {
+	n := len(m.Layers)
+	grad := m.grads[n]
+	copy(grad, dOut)
+	for li := n - 1; li >= 0; li-- {
 		l := m.Layers[li]
 		in := m.acts[li]
 		out := m.acts[li+1]
-		// delta = grad * act'(out)
-		delta := make([]float64, l.Out)
-		for o := 0; o < l.Out; o++ {
-			delta[o] = grad[o] * l.Act.derivFromOut(out[o])
+		next := m.grads[li]
+		for i := range next {
+			next[i] = 0
 		}
-		next := make([]float64, l.In)
 		for o := 0; o < l.Out; o++ {
+			// delta = grad * act'(out), computed in place in grad
+			d := grad[o] * l.Act.derivFromOut(out[o])
 			row := l.W[o*l.In : (o+1)*l.In]
 			gRow := l.gW[o*l.In : (o+1)*l.In]
-			d := delta[o]
 			l.gB[o] += d
 			for i := 0; i < l.In; i++ {
 				gRow[i] += d * in[i]
@@ -233,15 +239,18 @@ func (a *Adam) Step(m *MLP, batchScale float64) {
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 
+	inv := 1 / batchScale
 	clip := 1.0
 	if a.MaxNorm > 0 {
 		var norm float64
 		for _, l := range m.Layers {
 			for _, g := range l.gW {
-				norm += (g / batchScale) * (g / batchScale)
+				s := g * inv
+				norm += s * s
 			}
 			for _, g := range l.gB {
-				norm += (g / batchScale) * (g / batchScale)
+				s := g * inv
+				norm += s * s
 			}
 		}
 		norm = math.Sqrt(norm)
@@ -250,9 +259,10 @@ func (a *Adam) Step(m *MLP, batchScale float64) {
 		}
 	}
 
+	scale := inv * clip
 	upd := func(w, g, mm, vv []float64) {
 		for i := range w {
-			gi := g[i] / batchScale * clip
+			gi := g[i] * scale
 			mm[i] = a.Beta1*mm[i] + (1-a.Beta1)*gi
 			vv[i] = a.Beta2*vv[i] + (1-a.Beta2)*gi*gi
 			mhat := mm[i] / bc1

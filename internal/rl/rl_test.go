@@ -75,7 +75,8 @@ func TestTD3SolvesContinuousBandit(t *testing.T) {
 
 	for step := 0; step < 3000; step++ {
 		s := rng.Float64()*2 - 1
-		a := tr.Act([]float64{s}, true)
+		// Act returns trainer-owned scratch; copy before storing in replay.
+		a := append([]float64(nil), tr.Act([]float64{s}, true)...)
 		r := 1 - (a[0]-target(s))*(a[0]-target(s))
 		rb.Add(Transition{
 			Global: []float64{s}, State: []float64{s}, Action: a,

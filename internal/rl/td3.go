@@ -61,6 +61,16 @@ type Trainer struct {
 	rng     *rand.Rand
 	updates int
 
+	// Reusable scratch: the trainer is single-threaded, so per-call and
+	// per-sample buffers are hoisted here to keep Update/Act allocation-free.
+	batch   []Transition
+	actBuf  []float64
+	ciBuf   []float64
+	aNext   []float64
+	negBuf  []float64
+	errBuf  []float64 // 1-wide dLoss/dOutput for critic backward passes
+	oneBuf  []float64 // constant [1] for dQ/dInput
+
 	// LastCriticLoss and LastActorObjective expose training diagnostics.
 	LastCriticLoss     float64
 	LastActorObjective float64
@@ -89,14 +99,23 @@ func NewTrainer(cfg Config, seed int64) *Trainer {
 	t.actorTarget = t.Actor.Clone()
 	t.critic1Target = t.Critic1.Clone()
 	t.critic2Target = t.Critic2.Clone()
+	t.actBuf = make([]float64, cfg.ActionDim)
+	t.aNext = make([]float64, cfg.ActionDim)
+	t.negBuf = make([]float64, cfg.ActionDim)
+	t.ciBuf = make([]float64, 0, criticIn)
+	t.errBuf = make([]float64, 1)
+	t.oneBuf = []float64{1}
 	return t
 }
 
 // Act runs the current policy on state; with explore=true, Gaussian
-// behaviour noise is added and the result clamped to [-1, 1].
+// behaviour noise is added and the result clamped to [-1, 1]. The returned
+// slice is scratch owned by the trainer, valid until the next Act call; copy
+// it to retain (e.g. before storing in a replay transition).
 func (t *Trainer) Act(state []float64, explore bool) []float64 {
 	out := t.Actor.Forward(state)
-	act := append([]float64(nil), out...)
+	act := t.actBuf
+	copy(act, out)
 	if explore {
 		for i := range act {
 			act[i] += t.rng.NormFloat64() * t.Cfg.ExploreNoise
@@ -111,11 +130,13 @@ func (t *Trainer) Act(state []float64, explore bool) []float64 {
 	return act
 }
 
-func criticInput(global, state, action []float64) []float64 {
-	in := make([]float64, 0, len(global)+len(state)+len(action))
-	in = append(in, global...)
+// criticInput concatenates [global, state, action] into the trainer's
+// reusable buffer; the result is valid until the next call.
+func (t *Trainer) criticInput(global, state, action []float64) []float64 {
+	in := append(t.ciBuf[:0], global...)
 	in = append(in, state...)
 	in = append(in, action...)
+	t.ciBuf = in[:0]
 	return in
 }
 
@@ -127,7 +148,8 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	if rb.Len() < t.Cfg.Batch {
 		return
 	}
-	batch := rb.Sample(t.rng, t.Cfg.Batch, nil)
+	t.batch = rb.Sample(t.rng, t.Cfg.Batch, t.batch)
+	batch := t.batch
 
 	// --- critic update ---
 	t.Critic1.ZeroGrad()
@@ -135,7 +157,8 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	var closs float64
 	for _, tr := range batch {
 		// Target action with smoothing noise.
-		aNext := append([]float64(nil), t.actorTarget.Forward(tr.NextState)...)
+		aNext := t.aNext
+		copy(aNext, t.actorTarget.Forward(tr.NextState))
 		for i := range aNext {
 			noise := t.rng.NormFloat64() * t.Cfg.TargetNoise
 			if noise > t.Cfg.NoiseClip {
@@ -152,7 +175,7 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 				aNext[i] = -1
 			}
 		}
-		inNext := criticInput(tr.NextGlobal, tr.NextState, aNext)
+		inNext := t.criticInput(tr.NextGlobal, tr.NextState, aNext)
 		q1n := t.critic1Target.Forward(inNext)[0]
 		q2n := t.critic2Target.Forward(inNext)[0]
 		qn := math.Min(q1n, q2n)
@@ -161,11 +184,13 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 			target += t.Cfg.Gamma * qn
 		}
 
-		in := criticInput(tr.Global, tr.State, tr.Action)
+		in := t.criticInput(tr.Global, tr.State, tr.Action)
 		q1 := t.Critic1.Forward(in)[0]
-		t.Critic1.Backward([]float64{q1 - target})
+		t.errBuf[0] = q1 - target
+		t.Critic1.Backward(t.errBuf)
 		q2 := t.Critic2.Forward(in)[0]
-		t.Critic2.Backward([]float64{q2 - target})
+		t.errBuf[0] = q2 - target
+		t.Critic2.Backward(t.errBuf)
 		d1, d2 := q1-target, q2-target
 		closs += 0.5 * (d1*d1 + d2*d2)
 	}
@@ -183,14 +208,14 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	var obj float64
 	for _, tr := range batch {
 		a := t.Actor.Forward(tr.State)
-		in := criticInput(tr.Global, tr.State, a)
+		in := t.criticInput(tr.Global, tr.State, a)
 		q := t.Critic1.Forward(in)[0]
 		obj += q
 		// dQ/dInput → slice out dQ/dAction, ascend (so loss gradient is -1).
 		t.Critic1.ZeroGrad()
-		dIn := t.Critic1.Backward([]float64{1})
+		dIn := t.Critic1.Backward(t.oneBuf)
 		dA := dIn[len(tr.Global)+len(tr.State):]
-		neg := make([]float64, len(dA))
+		neg := t.negBuf
 		for i := range dA {
 			neg[i] = -dA[i] // gradient ascent on Q
 		}
@@ -207,5 +232,5 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 
 // QValue exposes Critic1's estimate for diagnostics and tests.
 func (t *Trainer) QValue(global, state, action []float64) float64 {
-	return t.Critic1.Forward(criticInput(global, state, action))[0]
+	return t.Critic1.Forward(t.criticInput(global, state, action))[0]
 }

@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The batch engine fans independent scenarios across a worker pool. Each
+// scenario builds its own Simulator, topology and flows from its seed, so a
+// worker goroutine shares no mutable state with any other; results are
+// written into a slot indexed by submission position, which makes batch
+// output byte-identical to a serial loop regardless of completion order.
+
+// simMillis accumulates simulated virtual time completed by Run across the
+// whole process, in milliseconds. Benchmarks read it through SimSeconds to
+// report simulated-seconds-per-wall-second.
+var simMillis atomic.Int64
+
+// SimSeconds returns the total simulated time executed by Run since process
+// start. Sample it before and after a workload to compute simulated-seconds
+// per wall-second.
+func SimSeconds() float64 { return float64(simMillis.Load()) / 1000 }
+
+// Workers resolves a worker-count setting: values <= 0 select
+// GOMAXPROCS, and the count is clamped to n so tiny batches do not spawn
+// idle goroutines.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunBatch executes every scenario, fanning them across workers goroutines
+// (workers <= 0 selects GOMAXPROCS), and returns results in submission
+// order. If any scenario fails, the first error by submission index is
+// returned alongside the partial results (failed slots are nil).
+func RunBatch(scenarios []Scenario, workers int) ([]*Result, error) {
+	results := make([]*Result, len(scenarios))
+	err := ForEach(len(scenarios), workers, func(i int) error {
+		r, err := Run(scenarios[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	return results, err
+}
+
+// MustRunBatch panics on error; for experiments with static scenario grids.
+func MustRunBatch(scenarios []Scenario, workers int) []*Result {
+	rs, err := RunBatch(scenarios, workers)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// RunBatchCtx is RunBatch with cancellation: once ctx is done, no new
+// scenarios are started (in-flight ones finish) and ctx.Err is reported if
+// no scenario error preceded it. Skipped slots are nil.
+func RunBatchCtx(ctx context.Context, scenarios []Scenario, workers int) ([]*Result, error) {
+	results := make([]*Result, len(scenarios))
+	err := ForEachCtx(ctx, len(scenarios), workers, func(i int) error {
+		r, err := Run(scenarios[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	return results, err
+}
+
+// ForEach runs fn(0..n-1) across a pool of workers goroutines and returns
+// the error from the lowest index that failed (all indices are still
+// attempted). It is the building block for experiment sweeps whose jobs are
+// not plain Scenarios (hand-built topologies, multi-bottleneck runs).
+func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done no new indices
+// are claimed. Claimed indices run to completion. Returns the error from
+// the lowest failed index, or ctx.Err if the batch was cut short without an
+// fn error.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Inline serial path: no goroutines, no synchronization.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		return ctx.Err()
+	}
+
+	var (
+		next   atomic.Int64
+		errMu  sync.Mutex
+		errIdx = n
+		runErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, runErr = i, err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	return ctx.Err()
+}

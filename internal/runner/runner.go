@@ -223,6 +223,7 @@ func Run(sc Scenario) (*Result, error) {
 	if capBits > 0 {
 		res.Utilization = float64(delivered) * 8 / capBits
 	}
+	simMillis.Add(int64(sc.Duration * 1000))
 	return res, nil
 }
 

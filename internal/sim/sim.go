@@ -5,6 +5,10 @@
 // all schedule callbacks on a single virtual clock. Determinism is guaranteed
 // by ordering events on (time, sequence number) and by funnelling all
 // randomness through the simulator's seeded RNG.
+//
+// A Simulator is single-threaded and must only be driven from one goroutine,
+// but independent Simulators are fully isolated from each other, so many
+// scenarios can run concurrently (see internal/runner.RunBatch).
 package sim
 
 import (
@@ -13,34 +17,51 @@ import (
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled.
-type Event struct {
-	At  float64
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled. Fired and cancelled events are recycled through the
+// simulator's free list, so per-event heap allocation is amortized away on
+// the hot path; callers hold Timer handles, never raw events.
+type event struct {
+	at  float64
 	seq uint64
-	Fn  func()
+	fn  func()
 
+	// gen increments every time the event is recycled; Timer handles carry
+	// the generation they were issued for, making stale cancels no-ops.
+	gen       uint64
 	cancelled bool
 	index     int
 }
 
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and cancels nothing. Handles remain safe to use after their event
+// fires: the underlying storage may be recycled for a later schedule, and a
+// stale Cancel is a generation-checked no-op.
+type Timer struct {
+	e   *event
+	gen uint64
+}
+
 // Cancel prevents the event's callback from running. Cancelling an already
-// fired event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// fired (or never scheduled) timer is a no-op.
+func (t Timer) Cancel() {
+	if t.e != nil && t.e.gen == t.gen {
+		t.e.cancelled = true
 	}
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancelled reports whether the event was cancelled before firing. It
+// reports false once the event has fired or been recycled.
+func (t Timer) Cancelled() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.cancelled
+}
 
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
@@ -50,7 +71,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -70,6 +91,7 @@ type Simulator struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+	free   []*event
 	rng    *rand.Rand
 
 	// Processed counts the number of events executed so far.
@@ -91,35 +113,57 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a logic error in the caller.
-func (s *Simulator) At(t float64, fn func()) *Event {
+func (s *Simulator) At(t float64, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
 	}
-	e := &Event{At: t, seq: s.seq, Fn: fn}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn = t, s.seq, fn
+	} else {
+		e = &event{at: t, seq: s.seq, fn: fn}
+	}
 	s.seq++
 	heap.Push(&s.events, e)
-	return e
+	return Timer{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d seconds from now.
-func (s *Simulator) After(d float64, fn func()) *Event {
+func (s *Simulator) After(d float64, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
+// release returns a popped event to the free list. Bumping the generation
+// first invalidates every outstanding Timer handle to it, so the storage can
+// be handed out again immediately (even to events scheduled by the callback
+// that is about to run).
+func (s *Simulator) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
+
 // Step executes the next pending event. It returns false when the queue is
 // empty.
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
+		e := heap.Pop(&s.events).(*event)
 		if e.cancelled {
+			s.release(e)
 			continue
 		}
-		s.now = e.At
+		s.now = e.at
 		s.Processed++
-		e.Fn()
+		fn := e.fn
+		s.release(e)
+		fn()
 		return true
 	}
 	return false
@@ -131,16 +175,18 @@ func (s *Simulator) Run(until float64) {
 	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.cancelled {
-			heap.Pop(&s.events)
+			s.release(heap.Pop(&s.events).(*event))
 			continue
 		}
-		if next.At > until {
+		if next.at > until {
 			break
 		}
 		heap.Pop(&s.events)
-		s.now = next.At
+		s.now = next.at
 		s.Processed++
-		next.Fn()
+		fn := next.fn
+		s.release(next)
+		fn()
 	}
 	if s.now < until {
 		s.now = until

@@ -58,12 +58,52 @@ func TestCancel(t *testing.T) {
 	ran := false
 	e := s.At(1, func() { ran = true })
 	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
 	s.Run(2)
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if e.Cancelled() {
+		t.Fatal("Cancelled() = true after the event was reaped and recycled")
+	}
+}
+
+func TestStaleTimerHandlesAreNoOps(t *testing.T) {
+	s := New(1)
+	var zero Timer
+	zero.Cancel() // zero Timer is valid and cancels nothing
+	if zero.Cancelled() {
+		t.Fatal("zero Timer reports cancelled")
+	}
+
+	fired := s.At(1, func() {})
+	s.Run(2)
+	// The fired event's storage is recycled for the next schedule; the stale
+	// handle must not be able to cancel the new event.
+	ran := false
+	s.At(3, func() { ran = true })
+	fired.Cancel()
+	if fired.Cancelled() {
+		t.Fatal("stale handle reports cancelled")
+	}
+	s.Run(4)
+	if !ran {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+}
+
+func TestEventStorageRecycled(t *testing.T) {
+	s := New(1)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			s.After(0.001*float64(i), func() {})
+		}
+		s.Run(s.Now() + 1)
+	}
+	if got := len(s.free); got < 10 {
+		t.Fatalf("free list holds %d events after churn; recycling broken", got)
 	}
 }
 

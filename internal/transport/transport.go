@@ -108,7 +108,7 @@ type Flow struct {
 	pacingBps float64 // 0 = unpaced (pure ack clocking)
 	minCwnd   float64
 	nextSend  float64
-	sendTimer *sim.Event
+	sendTimer sim.Timer
 	active    bool
 	startAt   float64
 	stopAt    float64
@@ -125,7 +125,7 @@ type Flow struct {
 	srtt, rttvar float64
 	minRTT       float64
 	lastAckAt    float64
-	rtoTimer     *sim.Event
+	rtoTimer     sim.Timer
 	rtoBackoff   float64
 
 	// lifetime counters
@@ -142,8 +142,14 @@ type Flow struct {
 	mtpSent      int
 	mtpRTTSum    float64
 	mtpRTTCount  int
-	mtpTimer     *sim.Event
+	mtpTimer     sim.Timer
 	maxTput      float64
+
+	// deliverFn/ackFn hold the receiver/sender callbacks bound once at
+	// construction; passing f.deliverToReceiver directly would allocate a
+	// method-value closure per packet.
+	deliverFn func(*netem.Packet)
+	ackFn     func(*netem.Packet)
 
 	// OnAckHook lets experiment recorders observe acks without interposing
 	// on the CC.
@@ -178,6 +184,8 @@ func NewFlow(s *sim.Simulator, cfg FlowConfig) *Flow {
 	if cfg.Duration > 0 {
 		f.stopAt = cfg.Start + cfg.Duration
 	}
+	f.deliverFn = f.deliverToReceiver
+	f.ackFn = f.onAckArrival
 	return f
 }
 
@@ -197,15 +205,9 @@ func (f *Flow) Start() {
 
 func (f *Flow) stop() {
 	f.active = false
-	if f.sendTimer != nil {
-		f.sendTimer.Cancel()
-	}
-	if f.mtpTimer != nil {
-		f.mtpTimer.Cancel()
-	}
-	if f.rtoTimer != nil {
-		f.rtoTimer.Cancel()
-	}
+	f.sendTimer.Cancel()
+	f.mtpTimer.Cancel()
+	f.rtoTimer.Cancel()
 	if f.OnStop != nil {
 		f.OnStop(f)
 	}
@@ -270,9 +272,7 @@ func (f *Flow) MaxTputBps() float64 { return f.maxTput }
 // ScheduleMTP arms (or re-arms) the monitor period timer to fire d seconds
 // from now. CC schemes call this from Init and typically again from OnMTP.
 func (f *Flow) ScheduleMTP(d float64) {
-	if f.mtpTimer != nil {
-		f.mtpTimer.Cancel()
-	}
+	f.mtpTimer.Cancel()
 	f.mtpTimer = f.Sim.After(d, f.fireMTP)
 }
 
@@ -344,9 +344,7 @@ func (f *Flow) trySend() {
 			}
 		}
 		if f.pacingBps > 0 && now < f.nextSend-1e-12 {
-			if f.sendTimer != nil {
-				f.sendTimer.Cancel()
-			}
+			f.sendTimer.Cancel()
 			f.sendTimer = f.Sim.At(f.nextSend, f.trySend)
 			return
 		}
@@ -370,18 +368,21 @@ func (f *Flow) sendPacket() {
 	f.inflight++
 	f.SentBytes += MSS
 	f.mtpSent += MSS
-	p := &netem.Packet{FlowID: f.ID, Seq: num, Size: MSS, SentAt: now}
-	netem.SendOver(p, f.path.Forward, f.deliverToReceiver, func(q *netem.Packet, reason string) {
-		// The packet evaporates in the network. The sender learns about it
-		// through reordering detection or RTO, not instantly.
-	})
+	p := netem.AcquirePacket()
+	p.FlowID, p.Seq, p.Size, p.SentAt = f.ID, num, MSS, now
+	netem.SendOver(p, f.path.Forward, f.deliverFn, dropSilently)
 }
+
+// dropSilently is the shared no-op drop callback: the sender learns about
+// losses through reordering detection or RTO, not instantly.
+func dropSilently(*netem.Packet, string) {}
 
 // deliverToReceiver models the receiver: immediately ACK every packet back
 // over the reverse path.
 func (f *Flow) deliverToReceiver(p *netem.Packet) {
-	ack := &netem.Packet{FlowID: f.ID, Seq: p.Seq, Size: 40, Ack: true, SentAt: p.SentAt}
-	netem.SendOver(ack, f.path.Reverse, f.onAckArrival, func(q *netem.Packet, reason string) {})
+	ack := netem.AcquirePacket()
+	ack.FlowID, ack.Seq, ack.Size, ack.Ack, ack.SentAt = f.ID, p.Seq, 40, true, p.SentAt
+	netem.SendOver(ack, f.path.Reverse, f.ackFn, dropSilently)
 }
 
 func (f *Flow) onAckArrival(p *netem.Packet) {
@@ -499,9 +500,7 @@ func (f *Flow) rto() float64 {
 }
 
 func (f *Flow) armRTO() {
-	if f.rtoTimer != nil {
-		f.rtoTimer.Cancel()
-	}
+	f.rtoTimer.Cancel()
 	if !f.active {
 		return
 	}

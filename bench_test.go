@@ -52,29 +52,29 @@ func one(fn func(experiments.Opts) *experiments.Table) func(experiments.Opts) []
 	}
 }
 
-func BenchmarkTable1(b *testing.B)   { benchTables(b, one(experiments.ExpTable1)) }
-func BenchmarkFigure1a(b *testing.B) { benchTables(b, one(experiments.ExpFigure1a)) }
-func BenchmarkFigure1b(b *testing.B) { benchTables(b, one(experiments.ExpFigure1b)) }
-func BenchmarkFigure2(b *testing.B)  { benchTables(b, experiments.ExpFigure2) }
-func BenchmarkFigure4(b *testing.B)  { benchTables(b, one(experiments.ExpFigure4)) }
-func BenchmarkFigure6(b *testing.B)  { benchTables(b, experiments.ExpFigure6) }
-func BenchmarkFigure7(b *testing.B)  { benchTables(b, one(experiments.ExpFigure7)) }
-func BenchmarkFigure8(b *testing.B)  { benchTables(b, one(experiments.ExpFigure8)) }
-func BenchmarkFigure9(b *testing.B)  { benchTables(b, one(experiments.ExpFigure9)) }
+func BenchmarkTable1(b *testing.B)        { benchTables(b, one(experiments.ExpTable1)) }
+func BenchmarkFigure1a(b *testing.B)      { benchTables(b, one(experiments.ExpFigure1a)) }
+func BenchmarkFigure1b(b *testing.B)      { benchTables(b, one(experiments.ExpFigure1b)) }
+func BenchmarkFigure2(b *testing.B)       { benchTables(b, experiments.ExpFigure2) }
+func BenchmarkFigure4(b *testing.B)       { benchTables(b, one(experiments.ExpFigure4)) }
+func BenchmarkFigure6(b *testing.B)       { benchTables(b, experiments.ExpFigure6) }
+func BenchmarkFigure7(b *testing.B)       { benchTables(b, one(experiments.ExpFigure7)) }
+func BenchmarkFigure8(b *testing.B)       { benchTables(b, one(experiments.ExpFigure8)) }
+func BenchmarkFigure9(b *testing.B)       { benchTables(b, one(experiments.ExpFigure9)) }
 func BenchmarkFigure10(b *testing.B)      { benchTables(b, one(experiments.ExpFigure10)) }
 func BenchmarkFigure10Large(b *testing.B) { benchTables(b, one(experiments.ExpFigure10Large)) }
-func BenchmarkFigure11(b *testing.B) { benchTables(b, one(experiments.ExpFigure11)) }
-func BenchmarkFigure12(b *testing.B) { benchTables(b, one(experiments.ExpFigure12)) }
-func BenchmarkFigure13(b *testing.B) { benchTables(b, experiments.ExpFigure13) }
-func BenchmarkFigure14(b *testing.B) { benchTables(b, one(experiments.ExpFigure14)) }
-func BenchmarkFigure15(b *testing.B) { benchTables(b, experiments.ExpFigure15) }
-func BenchmarkFigure16(b *testing.B) { benchTables(b, experiments.ExpFigure16) }
-func BenchmarkFigure17(b *testing.B) { benchTables(b, one(experiments.ExpFigure17)) }
-func BenchmarkFigure18(b *testing.B) { benchTables(b, one(experiments.ExpFigure18)) }
-func BenchmarkFigure19(b *testing.B) { benchTables(b, experiments.ExpFigure19) }
-func BenchmarkFigure20(b *testing.B) { benchTables(b, one(experiments.ExpFigure20)) }
-func BenchmarkFigure21(b *testing.B) { benchTables(b, one(experiments.ExpFigure21)) }
-func BenchmarkFigure22(b *testing.B) { benchTables(b, one(experiments.ExpFigure22)) }
+func BenchmarkFigure11(b *testing.B)      { benchTables(b, one(experiments.ExpFigure11)) }
+func BenchmarkFigure12(b *testing.B)      { benchTables(b, one(experiments.ExpFigure12)) }
+func BenchmarkFigure13(b *testing.B)      { benchTables(b, experiments.ExpFigure13) }
+func BenchmarkFigure14(b *testing.B)      { benchTables(b, one(experiments.ExpFigure14)) }
+func BenchmarkFigure15(b *testing.B)      { benchTables(b, experiments.ExpFigure15) }
+func BenchmarkFigure16(b *testing.B)      { benchTables(b, experiments.ExpFigure16) }
+func BenchmarkFigure17(b *testing.B)      { benchTables(b, one(experiments.ExpFigure17)) }
+func BenchmarkFigure18(b *testing.B)      { benchTables(b, one(experiments.ExpFigure18)) }
+func BenchmarkFigure19(b *testing.B)      { benchTables(b, experiments.ExpFigure19) }
+func BenchmarkFigure20(b *testing.B)      { benchTables(b, one(experiments.ExpFigure20)) }
+func BenchmarkFigure21(b *testing.B)      { benchTables(b, one(experiments.ExpFigure21)) }
+func BenchmarkFigure22(b *testing.B)      { benchTables(b, one(experiments.ExpFigure22)) }
 
 // Ablation benches for the design choices DESIGN.md §4 calls out.
 func BenchmarkAblationAlpha(b *testing.B)   { benchTables(b, one(experiments.ExpAblationAlpha)) }

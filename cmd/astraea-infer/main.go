@@ -60,7 +60,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	requests, batches := svc.Stats()
 	fmt.Printf("astraea-infer: shutting down after %d requests in %d batches\n",
-		svc.Requests, svc.Batches)
+		requests, batches)
 	srv.Close()
 }

@@ -8,6 +8,12 @@
 //
 //	astraea-train -mode rl -episodes 50 -out actor.json
 //	astraea-train -mode distill -out distilled.json
+//	astraea-train -mode rl -episodes 500 -pprof 127.0.0.1:6060 -telemetry train.prom
+//
+// -telemetry writes a metrics snapshot (Prometheus text, or JSON for a
+// .json path) at exit; -pprof serves net/http/pprof and a live /metrics
+// endpoint, which is how long training runs are watched for convergence
+// (rl_critic_loss, env_episode_reward) and overhead.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/env"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,12 +35,42 @@ func main() {
 	epochs := flag.Int("epochs", 30, "epochs (distill mode)")
 	out := flag.String("out", "actor.json", "output weight file")
 	seed := flag.Int64("seed", 1, "random seed")
+	telemetryOut := flag.String("telemetry", "", "write a telemetry snapshot to this path at exit (.json = JSON, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telemetryOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		runner.InstrumentProcess(reg)
+	}
+	if *pprofAddr != "" {
+		bound, stop, err := telemetry.Serve(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-train: pprof:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "astraea-train: serving pprof and /metrics on http://%s\n", bound)
+	}
+	writeTelemetry := func() {
+		if *telemetryOut == "" {
+			return
+		}
+		if err := telemetry.WriteFile(*telemetryOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-train: telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "astraea-train: wrote telemetry snapshot to %s\n", *telemetryOut)
+	}
 
 	cfg := core.DefaultConfig()
 	switch *mode {
 	case "rl":
 		learner := env.NewParallelLearner(cfg, env.DefaultTrainingDistribution(), *seed, *workers)
+		if reg != nil {
+			learner.Instrument(reg)
+		}
 		done := 0
 		for done < *episodes {
 			batch := *workers
@@ -64,5 +102,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "astraea-train: unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
+	writeTelemetry()
 	fmt.Println("wrote", *out)
 }

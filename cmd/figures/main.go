@@ -5,6 +5,11 @@
 // Usage:
 //
 //	figures [-quick] [-csv] [-only fig6,fig12,...] [-workers N]
+//	        [-telemetry out.prom] [-pprof 127.0.0.1:6060]
+//
+// -telemetry writes a metrics snapshot (Prometheus text, or JSON for a
+// .json path) at exit; -pprof serves net/http/pprof and a live /metrics
+// endpoint while the run is in progress.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +32,24 @@ func main() {
 	scale := flag.Float64("scale", 0, "override duration scale (1.0 = paper)")
 	outdir := flag.String("outdir", "", "also write one CSV per table into this directory")
 	workers := flag.Int("workers", 0, "scenario worker pool size (0 = GOMAXPROCS; results identical for any value)")
+	telemetryOut := flag.String("telemetry", "", "write a telemetry snapshot to this path at exit (.json = JSON, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telemetryOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		runner.InstrumentProcess(reg)
+	}
+	if *pprofAddr != "" {
+		bound, stop, err := telemetry.Serve(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: pprof:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "figures: serving pprof and /metrics on http://%s\n", bound)
+	}
 
 	o := experiments.Full()
 	if *quick {
@@ -38,6 +62,7 @@ func main() {
 		o.TimeScale = *scale
 	}
 	o.Workers = *workers
+	o.Telemetry = reg
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -121,6 +146,13 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "figures: nothing matched -only=%q\n", *only)
 		os.Exit(1)
+	}
+	if *telemetryOut != "" {
+		if err := telemetry.WriteFile(*telemetryOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote telemetry snapshot to %s\n", *telemetryOut)
 	}
 }
 

@@ -122,12 +122,15 @@ func TestServiceOverUDPConcurrentClients(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if svc.Requests != clients*perClient {
-		t.Fatalf("service saw %d requests, want %d", svc.Requests, clients*perClient)
+	// UDP responses carry no happens-before edge from the flush goroutine,
+	// so read the counters through the service lock.
+	requests, batches := svc.Stats()
+	if requests != clients*perClient {
+		t.Fatalf("service saw %d requests, want %d", requests, clients*perClient)
 	}
 	// Batching across clients must have occurred.
-	if svc.Batches >= svc.Requests {
-		t.Fatalf("no batching: %d batches for %d requests", svc.Batches, svc.Requests)
+	if batches >= requests {
+		t.Fatalf("no batching: %d batches for %d requests", batches, requests)
 	}
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Service is the Astraea inference service of §4: one shared policy serving
@@ -28,14 +30,34 @@ type Service struct {
 	timer   *time.Timer
 	closed  bool
 
+	// Telemetry instruments; nil (no-op) unless Instrument was called.
+	mRequests  *telemetry.Counter
+	mBatches   *telemetry.Counter
+	mBatchSize *telemetry.Histogram
+	mQueueWait *telemetry.Histogram
+
 	// Batches and Requests count service activity for tests/benchmarks.
+	// They are guarded by mu: read them through Stats whenever a batch
+	// flush may still be in flight (the timer goroutine writes them).
 	Batches  int64
 	Requests int64
+}
+
+// Stats returns the request and batch counts under the service lock. Plain
+// field reads are only safe once no concurrent Infer or timer flush can be
+// running; Stats is always safe.
+func (s *Service) Stats() (requests, batches int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Requests, s.Batches
 }
 
 type inferReq struct {
 	state []float64
 	resp  chan float64
+	// enqueued records wall-clock arrival for the queue-wait histogram;
+	// zero when the service is uninstrumented.
+	enqueued time.Time
 }
 
 // NewService wraps policy (nil selects the reference policy for cfg).
@@ -46,18 +68,40 @@ func NewService(cfg Config, policy Policy) *Service {
 	return &Service{policy: policy, BatchWindow: 5 * time.Millisecond, MaxBatch: 256}
 }
 
+// Instrument registers the service's batching telemetry on reg: requests
+// served, batches flushed, the batch-size distribution (the quantity behind
+// Fig. 16b's sub-linear scaling), and how long requests waited for their
+// batch. Queue wait is wall-clock (the batching window is real time, not
+// simulated time).
+func (s *Service) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mRequests = reg.Counter("core_infer_requests_total", "inference requests served")
+	s.mBatches = reg.Counter("core_infer_batches_total", "batches evaluated (size 1 on the synchronous path)")
+	s.mBatchSize = reg.Histogram("core_infer_batch_size", "requests coalesced per batch",
+		telemetry.ExponentialBuckets(1, 2, 11)) // 1..1024
+	s.mQueueWait = reg.Histogram("core_infer_queue_wait_seconds", "wall-clock wait from request arrival to batch flush",
+		telemetry.ExponentialBuckets(1e-5, 4, 10)) // 10 µs .. 2.6 s
+}
+
 // Infer evaluates one state, possibly batched with concurrent requests.
 func (s *Service) Infer(state []float64) float64 {
 	s.mu.Lock()
 	s.Requests++
+	s.mRequests.Inc()
 	if s.BatchWindow == 0 || s.closed {
 		// Synchronous path.
 		s.Batches++
+		s.mBatches.Inc()
+		s.mBatchSize.Observe(1)
 		a := s.policy.Action(state)
 		s.mu.Unlock()
 		return a
 	}
 	req := inferReq{state: state, resp: make(chan float64, 1)}
+	if s.mQueueWait != nil {
+		req.enqueued = time.Now()
+	}
 	s.pending = append(s.pending, req)
 	if len(s.pending) >= s.MaxBatch {
 		s.flushLocked()
@@ -87,7 +131,16 @@ func (s *Service) flushLocked() {
 	batch := s.pending
 	s.pending = nil
 	s.Batches++
+	s.mBatches.Inc()
+	s.mBatchSize.Observe(float64(len(batch)))
+	now := time.Time{}
+	if s.mQueueWait != nil {
+		now = time.Now()
+	}
 	for _, r := range batch {
+		if !r.enqueued.IsZero() {
+			s.mQueueWait.Observe(now.Sub(r.enqueued).Seconds())
+		}
 		r.resp <- s.policy.Action(r.state)
 	}
 }

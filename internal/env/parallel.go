@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rl"
+	"repro/internal/telemetry"
 )
 
 // ParallelLearner runs several training-environment instances concurrently
@@ -23,8 +24,24 @@ type ParallelLearner struct {
 
 	rng *rand.Rand
 
+	// Telemetry instruments; nil (no-op) unless Instrument was called.
+	mEpisodes *telemetry.Counter
+	mReward   *telemetry.Gauge
+
+	// Episodes counts completed episodes (completion order); RewardHistory
+	// records each episode's average reward for convergence inspection.
 	Episodes      int
 	RewardHistory []float64
+}
+
+// Instrument registers training-progress telemetry on reg (episode count
+// and latest episode reward) and forwards reg to the TD3 trainer. Call
+// before Train; the learner goroutine owns all writes, so a live /metrics
+// scrape during training is race-free.
+func (p *ParallelLearner) Instrument(reg *telemetry.Registry) {
+	p.mEpisodes = reg.Counter("env_episodes_total", "training episodes completed")
+	p.mReward = reg.Gauge("env_episode_reward", "average reward of the latest episode")
+	p.Trainer.Instrument(reg)
 }
 
 // NewParallelLearner builds the learner with the given worker count
@@ -109,6 +126,8 @@ func (p *ParallelLearner) Train(episodes int) []float64 {
 		outstanding--
 		p.Episodes++
 		p.RewardHistory = append(p.RewardHistory, out.result.AvgReward)
+		p.mEpisodes.Inc()
+		p.mReward.Set(out.result.AvgReward)
 		for _, tr := range out.transitions {
 			p.Replay.Add(tr)
 		}

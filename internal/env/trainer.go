@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rl"
+	"repro/internal/telemetry"
 )
 
 // Learner is the centralized trainer of §3.1/§3.4: it owns the shared
@@ -20,10 +21,23 @@ type Learner struct {
 
 	rng *rand.Rand
 
+	// Telemetry instruments; nil (no-op) unless Instrument was called.
+	mEpisodes *telemetry.Counter
+	mReward   *telemetry.Gauge
+
 	// Episodes counts completed episodes; RewardHistory records each
 	// episode's average reward for convergence inspection.
 	Episodes      int
 	RewardHistory []float64
+}
+
+// Instrument registers training-progress telemetry on reg (episode count
+// and latest episode reward) and forwards reg to the TD3 trainer for its
+// update-step and replay metrics.
+func (l *Learner) Instrument(reg *telemetry.Registry) {
+	l.mEpisodes = reg.Counter("env_episodes_total", "training episodes completed")
+	l.mReward = reg.Gauge("env_episode_reward", "average reward of the latest episode")
+	l.Trainer.Instrument(reg)
 }
 
 // NewLearner builds a learner with fresh networks.
@@ -60,6 +74,8 @@ func (l *Learner) RunEpisodeAndTrain() EpisodeResult {
 		&Exploration{Stddev: 0.1}, nil)
 	l.Episodes++
 	l.RewardHistory = append(l.RewardHistory, res.AvgReward)
+	l.mEpisodes.Inc()
+	l.mReward.Set(res.AvgReward)
 
 	rounds := int(epCfg.Duration / l.Cfg.ModelUpdateInterval)
 	if rounds < 1 {

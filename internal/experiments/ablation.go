@@ -13,7 +13,7 @@ func astraeaThreeFlow(o Opts, seed int64, mk func() *core.Agent) (jain, util, st
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := 2*interval + flowDur
-	res := runner.MustRun(runner.Scenario{
+	res := o.run(runner.Scenario{
 		Seed: seed, RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1, Duration: dur,
 		Flows: []runner.FlowSpec{
 			{CC: mk(), Start: 0, Duration: flowDur},
@@ -55,7 +55,7 @@ func ExpAblationAlpha(o Opts) *Table {
 		// Convergence of the second flow.
 		interval := o.scale(40.0)
 		flowDur := o.scale(120.0)
-		res := runner.MustRun(runner.Scenario{
+		res := o.run(runner.Scenario{
 			Seed: int64(3100 + trial), RateBps: 100e6, BaseRTT: 0.030, QueueBDP: 1,
 			Duration: interval + flowDur,
 			Flows: []runner.FlowSpec{

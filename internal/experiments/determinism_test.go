@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // renderAll flattens a figure's tables into one comparable string.
@@ -26,6 +27,61 @@ func TestFigure6ParallelMatchesSerial(t *testing.T) {
 	parallel := renderAll(ExpFigure6(o))
 	if serial != parallel {
 		t.Fatalf("fig6 tables differ between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestFigure6TelemetryDoesNotChangeTables pins the observability contract:
+// attaching a telemetry registry must not perturb a single cell of the
+// rendered tables, serial or parallel.
+func TestFigure6TelemetryDoesNotChangeTables(t *testing.T) {
+	o := Opts{Trials: 1, TimeScale: 0.1, Workers: 1}
+	plain := renderAll(ExpFigure6(o))
+	o.Telemetry = telemetry.NewRegistry()
+	observedSerial := renderAll(ExpFigure6(o))
+	if plain != observedSerial {
+		t.Fatalf("fig6 tables differ with telemetry attached (serial):\n--- plain ---\n%s\n--- observed ---\n%s", plain, observedSerial)
+	}
+	o.Workers = 4
+	o.Telemetry = telemetry.NewRegistry()
+	observedParallel := renderAll(ExpFigure6(o))
+	if plain != observedParallel {
+		t.Fatalf("fig6 tables differ with telemetry attached (workers=4):\n--- plain ---\n%s\n--- observed ---\n%s", plain, observedParallel)
+	}
+}
+
+// TestFigure6TelemetryTotalsDeterministic checks that the merged per-layer
+// counters are identical for any worker count: each scenario accumulates
+// into a private registry and the merge is commutative, so parallel
+// scheduling must not change a single total. (Per-worker and wall-clock
+// metrics are intentionally scheduling-dependent and excluded.)
+func TestFigure6TelemetryTotalsDeterministic(t *testing.T) {
+	run := func(workers int) telemetry.Snapshot {
+		o := Opts{Trials: 1, TimeScale: 0.1, Workers: workers, Telemetry: telemetry.NewRegistry()}
+		ExpFigure6(o)
+		return o.Telemetry.Snapshot()
+	}
+	serial, parallel := run(1), run(4)
+	for _, name := range []string{
+		"sim_events_dispatched_total",
+		"sim_event_freelist_hits_total",
+		"sim_timer_cancellations_total",
+		"netem_enqueued_total",
+		"netem_drops_tail_total",
+		"netem_delivered_total",
+		"transport_packets_sent_total",
+		"transport_acks_received_total",
+		"transport_packets_lost_reorder_total",
+		"runner_scenarios_total",
+		"runner_sim_milliseconds_total",
+	} {
+		a, okA := serial.Get(name)
+		b, okB := parallel.Get(name)
+		if !okA || !okB {
+			t.Fatalf("metric %s missing from snapshot (serial=%v parallel=%v)", name, okA, okB)
+		}
+		if a.Count != b.Count {
+			t.Errorf("%s differs between workers=1 and workers=4: %v vs %v", name, a.Count, b.Count)
+		}
 	}
 }
 

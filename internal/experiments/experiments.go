@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cc"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -32,6 +34,11 @@ type Opts struct {
 	// scenario is a pure function of its seed and config, and the batch
 	// engine returns results in submission order.
 	Workers int
+	// Telemetry, when set, collects runtime metrics from every scenario
+	// grid: live batch progress plus merged per-layer counters (see
+	// runner.RunBatchObserved). Tables are byte-identical with or without
+	// it.
+	Telemetry *telemetry.Registry
 }
 
 // Quick returns CI-friendly settings.
@@ -58,7 +65,21 @@ func (o Opts) scale(d float64) float64 {
 // order. Experiments build their full grid up front, then aggregate by
 // index; nested scheme × config × trial loops become index arithmetic.
 func runAll(o Opts, grid []runner.Scenario) []*runner.Result {
-	return runner.MustRunBatch(grid, o.Workers)
+	rs, err := runner.RunBatchObserved(context.Background(), grid, o.Workers, o.Telemetry)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// run executes one scenario outside the batch engine (motivation and
+// ablation experiments drive single runs directly), still attaching the
+// shared telemetry registry. Runs inside one experiment may execute
+// concurrently via forEach, but counter and histogram writes are atomic and
+// commutative, so the merged totals stay deterministic.
+func (o Opts) run(sc runner.Scenario) *runner.Result {
+	sc.Telemetry = o.Telemetry
+	return runner.MustRun(sc)
 }
 
 // forEach fans n hand-built jobs (multi-bottleneck topologies, parking-lot

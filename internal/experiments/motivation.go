@@ -12,7 +12,7 @@ import (
 // incumbent Aurora flow keeping essentially all bandwidth.
 func ExpFigure1a(o Opts) *Table {
 	dur := o.scale(120.0)
-	res := runner.MustRun(runner.Scenario{
+	res := o.run(runner.Scenario{
 		Seed: 1, RateBps: 80e6, BaseRTT: 0.060, QueueBytes: 4_800_000,
 		Duration: dur,
 		Flows: []runner.FlowSpec{
@@ -66,7 +66,7 @@ func vivaceConvergence(o Opts, id, scheme, title string, rtt float64) *Table {
 	interval := o.scale(40.0)
 	flowDur := o.scale(120.0)
 	dur := 2*interval + flowDur
-	res := runner.MustRun(runner.Scenario{
+	res := o.run(runner.Scenario{
 		Seed: 2, RateBps: 100e6, BaseRTT: rtt, QueueBDP: 1, Duration: dur,
 		Flows: staggeredFlows(scheme, 3, interval, flowDur),
 	})

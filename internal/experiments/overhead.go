@@ -54,7 +54,7 @@ func ExpFigure16(o Opts) []*Table {
 	}
 	for _, n := range []int{10, 50, 100, 500, 1000} {
 		perFlow := timePerFlowServers(cfg, n, state, rng)
-		batch := timeBatchService(cfg, policy, n, state)
+		batch := timeBatchService(o, cfg, policy, n, state)
 		t := "-"
 		if batch > 0 {
 			t = f2(float64(perFlow) / float64(batch))
@@ -96,11 +96,15 @@ func timePerFlowServers(cfg core.Config, n int, state []float64, rng *rand.Rand)
 }
 
 // timeBatchService routes the same decision round through one shared batch
-// service.
-func timeBatchService(cfg core.Config, policy core.Policy, n int, state []float64) time.Duration {
+// service. With telemetry attached, the service's batch-size and queue-wait
+// histograms land in the experiment registry — the Fig. 16b observability.
+func timeBatchService(o Opts, cfg core.Config, policy core.Policy, n int, state []float64) time.Duration {
 	svc := core.NewService(cfg, policy)
 	svc.BatchWindow = 500 * time.Microsecond
 	svc.MaxBatch = n
+	if o.Telemetry != nil {
+		svc.Instrument(o.Telemetry)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {

@@ -26,6 +26,7 @@ const (
 	KindCustom
 )
 
+// String names the event kind as it appears in the CSV export.
 func (k Kind) String() string {
 	switch k {
 	case KindCwnd:

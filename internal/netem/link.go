@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // LinkConfig describes a rate-limited link with a droptail byte queue.
@@ -33,12 +34,40 @@ type LinkStats struct {
 	BytesOut    int64
 }
 
+// LinkMetrics is the telemetry bundle links report into: enqueues, drops
+// broken down by cause, and deliveries. One bundle is typically shared by
+// every link of a scenario (the counters are atomic); the zero value and a
+// nil *LinkMetrics are valid no-op sinks.
+type LinkMetrics struct {
+	Enqueued    *telemetry.Counter
+	TailDrops   *telemetry.Counter
+	AQMDrops    *telemetry.Counter
+	RandomDrops *telemetry.Counter
+	Delivered   *telemetry.Counter
+}
+
+// NewLinkMetrics registers the link counters on reg and returns the bundle
+// to assign to Link.Metrics. A nil reg yields a no-op bundle.
+func NewLinkMetrics(reg *telemetry.Registry) *LinkMetrics {
+	return &LinkMetrics{
+		Enqueued:    reg.Counter("netem_enqueued_total", "packets admitted to a link queue"),
+		TailDrops:   reg.Counter("netem_drops_tail_total", "enqueue-side drops (buffer full or AQM early drop)"),
+		AQMDrops:    reg.Counter("netem_drops_aqm_total", "dequeue-side AQM drops (CoDel)"),
+		RandomDrops: reg.Counter("netem_drops_random_total", "stochastic (non-congestive) drops"),
+		Delivered:   reg.Counter("netem_delivered_total", "packets fully serialized onto the wire"),
+	}
+}
+
 // Link is a store-and-forward hop: packets are serialized at the link rate,
 // wait behind the queue, then experience propagation delay. The rate can be
 // changed at runtime (trace playback).
 type Link struct {
 	Sim  *sim.Simulator
 	Name string
+
+	// Metrics, when set, receives per-packet telemetry. Leave nil for an
+	// uninstrumented link; the counters are nil-safe either way.
+	Metrics *LinkMetrics
 
 	cfg     LinkConfig
 	rateBps float64
@@ -104,13 +133,22 @@ func (l *Link) Send(p *Packet, next func(*Packet)) {
 	l.stats.Arrived++
 	if l.cfg.LossProb > 0 && l.Sim.Rand().Float64() < l.cfg.LossProb {
 		l.stats.RandomDrops++
+		if m := l.Metrics; m != nil {
+			m.RandomDrops.Inc()
+		}
 		p.Drop("random")
 		return
 	}
 	if !l.cfg.Discipline.Admit(l.Sim.Now(), l.qBytes, l.cfg.QueueBytes, p) {
 		l.stats.TailDrops++
+		if m := l.Metrics; m != nil {
+			m.TailDrops.Inc()
+		}
 		p.Drop("tail")
 		return
+	}
+	if m := l.Metrics; m != nil {
+		m.Enqueued.Inc()
 	}
 	l.queue = append(l.queue, queued{p, next, l.Sim.Now()})
 	l.qBytes += p.Size
@@ -136,6 +174,9 @@ func (l *Link) serveNext() {
 	}
 	if l.cfg.Discipline.OnDequeue(l.Sim.Now(), l.Sim.Now()-item.enqueued, item.p) {
 		l.stats.AQMDrops++
+		if m := l.Metrics; m != nil {
+			m.AQMDrops.Inc()
+		}
 		item.p.Drop("aqm")
 		l.serveNext()
 		return
@@ -147,6 +188,9 @@ func (l *Link) serveNext() {
 	l.Sim.After(txTime, func() {
 		l.stats.Delivered++
 		l.stats.BytesOut += int64(item.p.Size)
+		if m := l.Metrics; m != nil {
+			m.Delivered.Inc()
+		}
 		// Propagation happens off the serialization path: the link is free
 		// to serve the next packet while this one flies.
 		l.Sim.After(l.cfg.Delay, func() { item.next(item.p) })

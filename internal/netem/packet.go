@@ -4,7 +4,10 @@
 // Mahimahi and pantheon-tunnel play in the paper's testbed.
 package netem
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Packet is the unit of transmission. The transport layer owns the payload
 // semantics (sequence numbers, ACK flags); netem only moves packets along a
@@ -38,7 +41,22 @@ type Hop interface {
 	Send(p *Packet, next func(*Packet))
 }
 
-var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+var packetPool = sync.Pool{New: func() any { poolAllocs.Add(1); return new(Packet) }}
+
+// poolAllocs counts packets the pool had to allocate because no recycled
+// one was available. The pool itself is process-wide (sync.Pool), so its
+// recycling statistic is too; it is the only always-on counter in the
+// package and sits on the rare miss path, not the per-packet one. Per-run
+// registries import it lazily via Registry.GaugeFunc — see
+// runner.InstrumentProcess.
+var poolAllocs atomic.Int64
+
+// PacketPoolAllocs returns how many packets have been heap-allocated since
+// process start. Compare against the transport's packets-sent counters to
+// judge recycling effectiveness: a healthy steady state allocates a few
+// hundred packets (the in-flight high-water mark) and recycles everything
+// after.
+func PacketPoolAllocs() int64 { return poolAllocs.Load() }
 
 // AcquirePacket returns a zeroed packet, recycled from the pool when
 // possible. Packets handed to SendOver are released back automatically when

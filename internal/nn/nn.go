@@ -22,6 +22,7 @@ const (
 	Tanh
 )
 
+// String names the activation for weight-file headers and error messages.
 func (a Activation) String() string {
 	switch a {
 	case Linear:

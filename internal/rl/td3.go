@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // Config sets the trainer's hyperparameters. Defaults follow Table 4 and
@@ -63,17 +64,33 @@ type Trainer struct {
 
 	// Reusable scratch: the trainer is single-threaded, so per-call and
 	// per-sample buffers are hoisted here to keep Update/Act allocation-free.
-	batch   []Transition
-	actBuf  []float64
-	ciBuf   []float64
-	aNext   []float64
-	negBuf  []float64
-	errBuf  []float64 // 1-wide dLoss/dOutput for critic backward passes
-	oneBuf  []float64 // constant [1] for dQ/dInput
+	batch  []Transition
+	actBuf []float64
+	ciBuf  []float64
+	aNext  []float64
+	negBuf []float64
+	errBuf []float64 // 1-wide dLoss/dOutput for critic backward passes
+	oneBuf []float64 // constant [1] for dQ/dInput
+
+	// Telemetry instruments; nil (no-op) unless Instrument was called.
+	mUpdates      *telemetry.Counter
+	mActorUpdates *telemetry.Counter
+	mReplayLen    *telemetry.Gauge
+	mCriticLoss   *telemetry.Gauge
 
 	// LastCriticLoss and LastActorObjective expose training diagnostics.
 	LastCriticLoss     float64
 	LastActorObjective float64
+}
+
+// Instrument registers training telemetry on reg: critic update steps,
+// delayed actor updates, replay-buffer occupancy, and the latest critic
+// TD-loss (a convergence signal long training runs watch via /metrics).
+func (t *Trainer) Instrument(reg *telemetry.Registry) {
+	t.mUpdates = reg.Counter("rl_update_steps_total", "critic gradient steps applied")
+	t.mActorUpdates = reg.Counter("rl_actor_updates_total", "delayed actor updates applied")
+	t.mReplayLen = reg.Gauge("rl_replay_occupancy", "transitions held in the replay buffer at the last update")
+	t.mCriticLoss = reg.Gauge("rl_critic_loss", "mean TD loss of the latest critic update")
 }
 
 // NewTrainer builds the networks. The critic input is [global, state,
@@ -199,6 +216,9 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	t.critic2Opt.Step(t.Critic2, n)
 	t.LastCriticLoss = closs / n
 	t.updates++
+	t.mUpdates.Inc()
+	t.mReplayLen.Set(float64(rb.Len()))
+	t.mCriticLoss.Set(t.LastCriticLoss)
 
 	// --- delayed actor update ---
 	if t.updates%t.Cfg.PolicyDelay != 0 {
@@ -224,6 +244,7 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	t.Critic1.ZeroGrad() // discard critic grads accumulated for dQ/dA
 	t.actorOpt.Step(t.Actor, n)
 	t.LastActorObjective = obj / n
+	t.mActorUpdates.Inc()
 
 	nn.SoftUpdate(t.actorTarget, t.Actor, t.Cfg.Tau)
 	nn.SoftUpdate(t.critic1Target, t.Critic1, t.Cfg.Tau)

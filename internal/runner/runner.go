@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -53,6 +54,14 @@ type Scenario struct {
 	// OnFlowCreated, when set, observes each flow as it is wired up
 	// (before Start), letting callers attach tracers or extra hooks.
 	OnFlowCreated func(i int, f *transport.Flow)
+	// Telemetry, when set, receives runtime metrics from every layer the
+	// scenario builds: simulator event-loop counters, bottleneck-link
+	// enqueue/drop counters, and transport send/loss/RTT instruments.
+	// Instrumentation never changes event order or RNG draws, so results
+	// are byte-identical with or without it. The registry is usually
+	// private to this run (see RunBatchObserved); sharing one across
+	// concurrent runs is safe but makes workers contend on its atomics.
+	Telemetry *telemetry.Registry
 }
 
 // FlowResult holds everything recorded about one flow.
@@ -113,6 +122,16 @@ func Run(sc Scenario) (*Result, error) {
 		LossProb:   sc.LossProb,
 		Discipline: sc.Discipline,
 	})
+	var flowMetrics *transport.Metrics
+	if reg := sc.Telemetry; reg != nil {
+		s.Instrument(reg)
+		dumb.Bottleneck.Metrics = netem.NewLinkMetrics(reg)
+		flowMetrics = transport.NewMetrics(reg)
+		reg.Counter("runner_scenarios_total", "scenarios executed").Inc()
+		// Milliseconds as a counter (not a seconds gauge) so per-run
+		// registries merge commutatively.
+		reg.Counter("runner_sim_milliseconds_total", "simulated virtual time executed").Add(int64(sc.Duration * 1000))
+	}
 	if sc.Trace != nil {
 		sc.Trace.Apply(s, dumb.Bottleneck, sc.Duration, true)
 	}
@@ -140,6 +159,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		f := transport.NewFlow(s, transport.FlowConfig{
 			ID: i, Path: path, CC: ctrl, Start: spec.Start, Duration: spec.Duration,
+			Metrics: flowMetrics,
 		})
 		fr := &FlowResult{
 			Spec:       spec,

@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
 
 // event is a scheduled callback. Events with equal times fire in the order
@@ -94,6 +96,12 @@ type Simulator struct {
 	free   []*event
 	rng    *rand.Rand
 
+	// Telemetry instruments; nil (no-op) unless Instrument was called.
+	mDispatched *telemetry.Counter
+	mFreeHit    *telemetry.Counter
+	mFreeMiss   *telemetry.Counter
+	mCancelled  *telemetry.Counter
+
 	// Processed counts the number of events executed so far.
 	Processed uint64
 }
@@ -101,6 +109,18 @@ type Simulator struct {
 // New returns a simulator whose randomness derives from seed.
 func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Instrument registers the simulator's event-loop counters on reg: events
+// dispatched, free-list hits/misses on schedule, and cancelled events
+// reaped. Counting costs one nil-check branch per operation when disabled
+// and one atomic add when enabled; it never changes event order or timing,
+// so instrumented and uninstrumented runs are byte-identical.
+func (s *Simulator) Instrument(reg *telemetry.Registry) {
+	s.mDispatched = reg.Counter("sim_events_dispatched_total", "events executed by the event loop")
+	s.mFreeHit = reg.Counter("sim_event_freelist_hits_total", "event schedules served from the free list")
+	s.mFreeMiss = reg.Counter("sim_event_freelist_misses_total", "event schedules that allocated a new event")
+	s.mCancelled = reg.Counter("sim_timer_cancellations_total", "cancelled events reaped before firing")
 }
 
 // Now returns the current virtual time in seconds.
@@ -123,8 +143,10 @@ func (s *Simulator) At(t float64, fn func()) Timer {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		e.at, e.seq, e.fn = t, s.seq, fn
+		s.mFreeHit.Inc()
 	} else {
 		e = &event{at: t, seq: s.seq, fn: fn}
+		s.mFreeMiss.Inc()
 	}
 	s.seq++
 	heap.Push(&s.events, e)
@@ -156,11 +178,13 @@ func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
 		if e.cancelled {
+			s.mCancelled.Inc()
 			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.Processed++
+		s.mDispatched.Inc()
 		fn := e.fn
 		s.release(e)
 		fn()
@@ -175,6 +199,7 @@ func (s *Simulator) Run(until float64) {
 	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.cancelled {
+			s.mCancelled.Inc()
 			s.release(heap.Pop(&s.events).(*event))
 			continue
 		}
@@ -184,6 +209,7 @@ func (s *Simulator) Run(until float64) {
 		heap.Pop(&s.events)
 		s.now = next.at
 		s.Processed++
+		s.mDispatched.Inc()
 		fn := next.fn
 		s.release(next)
 		fn()

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+)
+
+// Serve starts an HTTP server on addr exposing the standard net/http/pprof
+// profiling handlers under /debug/pprof/ and the registry as Prometheus
+// text under /metrics (live: each scrape takes a fresh snapshot). It
+// returns the bound address (useful with ":0") and a shutdown function, or
+// an error if the listener cannot be opened. The server runs until close is
+// called; serving errors after a successful start are ignored, as they can
+// only occur during shutdown.
+func Serve(addr string, reg *Registry) (bound string, close func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// WriteFile snapshots the registry to path, choosing the format from the
+// extension: ".json" writes JSON, anything else Prometheus text.
+func WriteFile(path string, reg *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	if strings.HasSuffix(path, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

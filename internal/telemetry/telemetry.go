@@ -1,0 +1,304 @@
+// Package telemetry is a zero-dependency runtime metrics layer: a Registry
+// of atomic counters, gauges, and fixed-bucket histograms that is
+// allocation-free on hot paths, snapshotable at any instant, and exportable
+// as Prometheus text format or JSON.
+//
+// The design follows two rules the emulation substrate imposes:
+//
+//   - Registries are per-run, never process-global. A Scenario, a training
+//     run, or a batch sweep owns its Registry and threads it down through
+//     the layers it builds (simulator, links, flows, inference service).
+//     Parallel batch workers therefore never contend on each other's
+//     metrics, and an uninstrumented run carries no telemetry state at all.
+//
+//   - Every instrument is nil-safe: calling Inc, Add, Set, or Observe on a
+//     nil *Counter/*Gauge/*Histogram is a no-op costing one predictable
+//     branch. Instrumented code holds plain pointer fields that stay nil
+//     when no registry is attached, so the disabled path needs no
+//     indirection, no interface dispatch, and no build tags.
+//
+// Metric values use atomics throughout, so a registry shared on purpose
+// (e.g. batch-level progress gauges, or many flows of one scenario feeding
+// one RTT histogram) tolerates concurrent writers and concurrent Snapshot
+// calls, including under the race detector.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op sink.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Inc adds 1. Safe (and free) on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative to keep the counter monotonic; this is
+// not enforced on the hot path). Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the metric name the counter was registered under.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic float64 that can go up and down. The zero value is
+// ready to use; a nil *Gauge is a no-op sink.
+type Gauge struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta with a CAS loop. Safe on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the metric name the gauge was registered under.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations ≤ its upper bound, plus an implicit +Inf
+// bucket). Buckets are fixed at registration so Observe never allocates; a
+// nil *Histogram is a no-op sink.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	name    string
+	help    string
+}
+
+// Observe records v into its bucket. Allocation-free; safe on a nil
+// receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Branchless-ish linear scan: bucket counts are small (≤ ~30) and the
+	// common observation lands early, so this beats binary search in
+	// practice and keeps the code allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64 = h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the metric name the histogram was registered under.
+func (h *Histogram) Name() string { return h.name }
+
+// LinearBuckets returns count upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExponentialBuckets returns count upper bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// gaugeFunc is a lazily evaluated gauge: its value is computed at snapshot
+// time. Used for quantities owned elsewhere (e.g. process-wide packet-pool
+// statistics) that would be wasteful to push on every change.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// Registry owns a named set of metrics. Registration (Counter, Gauge,
+// Histogram, GaugeFunc) is mutex-guarded and idempotent by name; the
+// returned instruments are lock-free. The zero Registry is not usable — use
+// NewRegistry. All methods are nil-safe: a nil *Registry returns nil
+// instruments, which are themselves no-op sinks, so call sites can thread
+// an optional registry without branching.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // registration order, for stable export
+	byName map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Panics if name is already registered as a different metric type.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.byName[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Panics if name is already registered as a different metric type.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.byName[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (sorted copies; +Inf is implicit) on first
+// use. Later calls ignore buckets and return the existing histogram. Panics
+// if name is registered as a different metric type or buckets is empty.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return h
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket", name))
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)),
+		name:   name,
+		help:   help,
+	}
+	r.byName[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.byName[name] = &gaugeFunc{name: name, help: help, fn: fn}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // MSS is the sender's fixed segment size in bytes (wire size; headers are
@@ -83,6 +84,37 @@ type sentRecord struct {
 	lost   bool
 }
 
+// Metrics is the transport telemetry bundle, typically shared by all flows
+// of one scenario (counters are atomic). PacketsLost* count loss
+// *declarations* — this transport models a bulk sender whose every packet
+// carries new data, so a declared loss adjusts accounting and cwnd but no
+// retransmission packet is emitted. A nil *Metrics is a valid no-op sink.
+type Metrics struct {
+	PacketsSent        *telemetry.Counter
+	AcksReceived       *telemetry.Counter
+	PacketsLostReorder *telemetry.Counter // declared by packet-threshold reordering
+	PacketsLostTimeout *telemetry.Counter // declared by RTO expiry
+	Timeouts           *telemetry.Counter // RTO fires that found packets outstanding
+	RTT                *telemetry.Histogram
+}
+
+// RTTBuckets are the default upper bounds for the RTT sample histogram:
+// 1 ms to ~8.2 s in powers of two, spanning datacenter to satellite paths.
+func RTTBuckets() []float64 { return telemetry.ExponentialBuckets(0.001, 2, 14) }
+
+// NewMetrics registers the transport instruments on reg and returns the
+// bundle to pass via FlowConfig.Metrics. A nil reg yields a no-op bundle.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		PacketsSent:        reg.Counter("transport_packets_sent_total", "data packets put on the wire"),
+		AcksReceived:       reg.Counter("transport_acks_received_total", "acknowledgements processed"),
+		PacketsLostReorder: reg.Counter("transport_packets_lost_reorder_total", "packets declared lost by reordering detection"),
+		PacketsLostTimeout: reg.Counter("transport_packets_lost_timeout_total", "packets declared lost by RTO"),
+		Timeouts:           reg.Counter("transport_timeouts_total", "retransmission timeouts fired with packets outstanding"),
+		RTT:                reg.Histogram("transport_rtt_seconds", "per-ack RTT samples", RTTBuckets()),
+	}
+}
+
 // FlowConfig configures a flow.
 type FlowConfig struct {
 	ID    int
@@ -94,6 +126,8 @@ type FlowConfig struct {
 	Duration float64
 	// InitialCwnd in packets; defaults to 10 (RFC 6928).
 	InitialCwnd float64
+	// Metrics, when set, receives per-packet telemetry (see Metrics).
+	Metrics *Metrics
 }
 
 // Flow is one bulk transfer.
@@ -151,6 +185,10 @@ type Flow struct {
 	deliverFn func(*netem.Packet)
 	ackFn     func(*netem.Packet)
 
+	// metrics is never nil (noopMetrics when uninstrumented), so hot paths
+	// pay only the counters' internal nil checks.
+	metrics *Metrics
+
 	// OnAckHook lets experiment recorders observe acks without interposing
 	// on the CC.
 	OnAckHook func(e AckEvent)
@@ -186,8 +224,16 @@ func NewFlow(s *sim.Simulator, cfg FlowConfig) *Flow {
 	}
 	f.deliverFn = f.deliverToReceiver
 	f.ackFn = f.onAckArrival
+	f.metrics = cfg.Metrics
+	if f.metrics == nil {
+		f.metrics = noopMetrics
+	}
 	return f
 }
+
+// noopMetrics backs uninstrumented flows: all counters are nil, so every
+// increment is a single-branch no-op.
+var noopMetrics = &Metrics{}
 
 // Start schedules flow launch at its configured start time.
 func (f *Flow) Start() {
@@ -368,6 +414,7 @@ func (f *Flow) sendPacket() {
 	f.inflight++
 	f.SentBytes += MSS
 	f.mtpSent += MSS
+	f.metrics.PacketsSent.Inc()
 	p := netem.AcquirePacket()
 	p.FlowID, p.Seq, p.Size, p.SentAt = f.ID, num, MSS, now
 	netem.SendOver(p, f.path.Forward, f.deliverFn, dropSilently)
@@ -403,6 +450,8 @@ func (f *Flow) onAckArrival(p *netem.Packet) {
 
 	rttSample := now - p.SentAt
 	f.updateRTT(rttSample)
+	f.metrics.AcksReceived.Inc()
+	f.metrics.RTT.Observe(rttSample)
 	f.DeliveredBytes += int64(rec.bytes)
 	f.mtpDelivered += rec.bytes
 	f.mtpRTTSum += rttSample
@@ -474,6 +523,7 @@ func (f *Flow) detectLosses() {
 	f.LostBytes += int64(lostBytes)
 	f.LostPackets += int64(lostPkts)
 	f.mtpLost += lostBytes
+	f.metrics.PacketsLostReorder.Add(int64(lostPkts))
 	ev := LossEvent{PktNum: highest, Bytes: lostBytes, Packets: lostPkts, Now: f.Sim.Now()}
 	f.CC.OnLoss(f, ev)
 	if f.OnLossHook != nil {
@@ -538,6 +588,8 @@ func (f *Flow) onRTO() {
 		f.LostBytes += int64(lostBytes)
 		f.LostPackets += int64(lostPkts)
 		f.mtpLost += lostBytes
+		f.metrics.PacketsLostTimeout.Add(int64(lostPkts))
+		f.metrics.Timeouts.Inc()
 		ev := LossEvent{
 			PktNum: highest, Bytes: lostBytes, Packets: lostPkts,
 			Timeout: true, Now: f.Sim.Now(),

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rl"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -58,6 +59,30 @@ func BenchmarkFlowSecond(b *testing.B) {
 		RateBps: 100e6, BaseRTT: 0.030, QueueBytes: netem.BDPBytes(100e6, 0.030),
 	})
 	f := transport.NewFlow(s, transport.FlowConfig{ID: 0, Path: d.FlowPath(0), CC: cc.MustNew("cubic")})
+	f.Start()
+	s.Run(2) // warm past slow start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(s.Now() + 1)
+	}
+}
+
+// BenchmarkFlowSecondTelemetry is BenchmarkFlowSecond with every layer
+// instrumented; the delta against the plain benchmark is the real hot-path
+// cost of enabled telemetry (a handful of atomic adds per packet).
+func BenchmarkFlowSecondTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	reg := telemetry.NewRegistry()
+	s := sim.New(1)
+	s.Instrument(reg)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{
+		RateBps: 100e6, BaseRTT: 0.030, QueueBytes: netem.BDPBytes(100e6, 0.030),
+	})
+	d.Bottleneck.Metrics = netem.NewLinkMetrics(reg)
+	f := transport.NewFlow(s, transport.FlowConfig{
+		ID: 0, Path: d.FlowPath(0), CC: cc.MustNew("cubic"),
+		Metrics: transport.NewMetrics(reg),
+	})
 	f.Start()
 	s.Run(2) // warm past slow start
 	b.ResetTimer()

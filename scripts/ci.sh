@@ -8,6 +8,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
+# Benchmark smoke pass: one iteration of every benchmark, so a bench that
+# panics or trips its alloc regression check fails CI without paying for a
+# full measurement run.
+go test -run=NONE -bench=. -benchtime=1x ./...
 # The race pass needs a generous timeout: the experiment suite and the
 # parallel learner run full simulations under the detector's ~10x slowdown.
 go test -race -timeout 60m ./...

@@ -38,7 +38,7 @@ func main() {
 	if *policyArg == "reference" {
 		policy = core.NewReferencePolicy(cfg)
 	} else {
-		p, err := core.LoadPolicy(*policyArg)
+		p, err := core.LoadPolicy(*policyArg, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astraea-infer:", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/nn"
 )
 
@@ -33,17 +34,23 @@ func (p *MLPPolicy) Action(state []float64) float64 {
 	return a
 }
 
-// SavePolicy serializes an actor network to path as JSON weights.
+// SavePolicy serializes an actor network to path as JSON weights. The file
+// is written atomically (temp file + fsync + rename), so a crash mid-save
+// leaves the previous weights rather than a truncated JSON that LoadPolicy
+// would later reject.
 func SavePolicy(path string, net *nn.MLP) error {
 	data, err := json.MarshalIndent(net, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: marshal policy: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return ckpt.WriteAtomic(path, data, 0o644)
 }
 
-// LoadPolicy reads JSON weights saved by SavePolicy.
-func LoadPolicy(path string) (*MLPPolicy, error) {
+// LoadPolicy reads JSON weights saved by SavePolicy and validates the
+// network against cfg: an actor whose input width does not match
+// cfg.StateDim(), or that does not emit exactly one action, is rejected
+// with a clear error instead of panicking at its first Forward.
+func LoadPolicy(path string, cfg Config) (*MLPPolicy, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -51,6 +58,13 @@ func LoadPolicy(path string) (*MLPPolicy, error) {
 	var net nn.MLP
 	if err := json.Unmarshal(data, &net); err != nil {
 		return nil, fmt.Errorf("core: parse policy %s: %w", path, err)
+	}
+	if got, want := net.InDim(), cfg.StateDim(); got != want {
+		return nil, fmt.Errorf("core: policy %s expects %d-wide states, config produces %d (HistoryLen %d × %d features)",
+			path, got, want, cfg.HistoryLen, LocalFeatureDim)
+	}
+	if got := net.OutDim(); got != 1 {
+		return nil, fmt.Errorf("core: policy %s emits %d outputs, want 1 action", path, got)
 	}
 	return &MLPPolicy{Net: &net}, nil
 }

@@ -120,7 +120,7 @@ func TestSaveLoadPolicy(t *testing.T) {
 	if err := SavePolicy(path, net); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadPolicy(path)
+	loaded, err := LoadPolicy(path, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,8 @@ func TestSaveLoadPolicy(t *testing.T) {
 }
 
 func TestLoadPolicyErrors(t *testing.T) {
-	if _, err := LoadPolicy("/nonexistent/actor.json"); err == nil {
+	cfg := DefaultConfig()
+	if _, err := LoadPolicy("/nonexistent/actor.json", cfg); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 	dir := t.TempDir()
@@ -140,8 +141,65 @@ func TestLoadPolicyErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadPolicy(bad); err == nil {
+	if _, err := LoadPolicy(bad, cfg); err == nil {
 		t.Fatal("expected error for corrupt file")
+	}
+}
+
+// A structurally valid weight file whose input width does not match the
+// config must be rejected at load time, not at the first Forward (which
+// panics).
+func TestLoadPolicyDimensionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "narrow.json")
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	narrow := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim()-8, 8, 1)
+	if err := SavePolicy(path, narrow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(path, cfg); err == nil {
+		t.Fatal("expected error for state-dim mismatch")
+	}
+	wide := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 8, 2)
+	if err := SavePolicy(path, wide); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(path, cfg); err == nil {
+		t.Fatal("expected error for action-dim mismatch")
+	}
+}
+
+// SavePolicy must be atomic: saving over an existing file either keeps the
+// old contents or installs the complete new ones, and never leaves temp
+// litter behind on success.
+func TestSavePolicyAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "actor.json")
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	first := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 8, 1)
+	if err := SavePolicy(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 8, 1)
+	if err := SavePolicy(path, second); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := refState(cfg, 50e6, 100e6, 0.036, 0.030)
+	if got, want := loaded.Action(state), (&MLPPolicy{Net: second}).Action(state); got != want {
+		t.Fatalf("loaded policy is not the latest save: %v vs %v", got, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after save, want just the policy: %v", len(entries), entries)
 	}
 }
 

@@ -1,11 +1,11 @@
 package env
 
 import (
-	"math/rand"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rl"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -22,7 +22,7 @@ type ParallelLearner struct {
 	Replay  *rl.ReplayBuffer
 	Workers int
 
-	rng *rand.Rand
+	rng *rng.Rand
 
 	// Telemetry instruments; nil (no-op) unless Instrument was called.
 	mEpisodes *telemetry.Counter
@@ -58,10 +58,10 @@ func NewParallelLearner(cfg core.Config, dist TrainingDistribution, seed int64, 
 	return &ParallelLearner{
 		Cfg:     cfg,
 		Dist:    dist,
-		Trainer: rl.NewTrainer(rlCfg, seed),
+		Trainer: rl.NewTrainer(rlCfg, rng.Fold(seed, streamTrainer)),
 		Replay:  rl.NewReplayBuffer(200000),
 		Workers: workers,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(rng.Fold(seed, streamEpisode)),
 	}
 }
 
@@ -104,9 +104,9 @@ func (p *ParallelLearner) Train(episodes int) []float64 {
 	}()
 
 	dispatch := func() job {
-		cfg := p.Dist.Sample(p.rng)
+		cfg := p.Dist.Sample(p.rng.Rand)
 		if p.rng.Float64() < 0.5 {
-			cfg.PoissonArrivals(p.rng, 2.0)
+			cfg.PoissonArrivals(p.rng.Rand, 2.0)
 		}
 		return job{
 			cfg: cfg, seed: p.rng.Int63(),

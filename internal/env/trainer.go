@@ -1,11 +1,20 @@
 package env
 
 import (
-	"math/rand"
-
 	"repro/internal/core"
 	"repro/internal/rl"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
+)
+
+// Sub-seed streams: the trainer (network init, batch sampling, noise) and
+// the episode sampler (scenario draws, arrival processes, per-episode sim
+// seeds) must consume decorrelated streams even though the user supplies
+// one seed. Seeding both from the same value — as earlier revisions did —
+// correlates exploration noise with scenario draws.
+const (
+	streamTrainer = 1
+	streamEpisode = 2
 )
 
 // Learner is the centralized trainer of §3.1/§3.4: it owns the shared
@@ -19,11 +28,13 @@ type Learner struct {
 	Trainer *rl.Trainer
 	Replay  *rl.ReplayBuffer
 
-	rng *rand.Rand
+	rng *rng.Rand
 
 	// Telemetry instruments; nil (no-op) unless Instrument was called.
 	mEpisodes *telemetry.Counter
 	mReward   *telemetry.Gauge
+	mCkptSecs *telemetry.Gauge
+	mCkptByte *telemetry.Counter
 
 	// Episodes counts completed episodes; RewardHistory records each
 	// episode's average reward for convergence inspection.
@@ -37,6 +48,8 @@ type Learner struct {
 func (l *Learner) Instrument(reg *telemetry.Registry) {
 	l.mEpisodes = reg.Counter("env_episodes_total", "training episodes completed")
 	l.mReward = reg.Gauge("env_episode_reward", "average reward of the latest episode")
+	l.mCkptSecs = reg.Gauge("ckpt_last_write_seconds", "wall time of the latest checkpoint write")
+	l.mCkptByte = reg.Counter("ckpt_bytes_written_total", "bytes of checkpoint data written")
 	l.Trainer.Instrument(reg)
 }
 
@@ -50,9 +63,9 @@ func NewLearner(cfg core.Config, dist TrainingDistribution, seed int64) *Learner
 	return &Learner{
 		Cfg:     cfg,
 		Dist:    dist,
-		Trainer: rl.NewTrainer(rlCfg, seed),
+		Trainer: rl.NewTrainer(rlCfg, rng.Fold(seed, streamTrainer)),
 		Replay:  rl.NewReplayBuffer(200000),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(rng.Fold(seed, streamEpisode)),
 	}
 }
 
@@ -66,9 +79,9 @@ func (l *Learner) Policy() *core.MLPPolicy {
 // the update schedule (ModelUpdateSteps gradient steps per
 // ModelUpdateInterval of episode time).
 func (l *Learner) RunEpisodeAndTrain() EpisodeResult {
-	epCfg := l.Dist.Sample(l.rng)
+	epCfg := l.Dist.Sample(l.rng.Rand)
 	if l.rng.Float64() < 0.5 {
-		epCfg.PoissonArrivals(l.rng, 2.0)
+		epCfg.PoissonArrivals(l.rng.Rand, 2.0)
 	}
 	res := RunEpisode(epCfg, l.Cfg, l.Policy(), l.rng.Int63(), l.Replay,
 		&Exploration{Stddev: 0.1}, nil)

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// randomTrainedMLP builds a random-architecture network and runs a few Adam
+// steps so weights, moments, and the step counter are all non-trivial.
+func randomTrainedMLP(rnd *rand.Rand) (*MLP, *Adam) {
+	depth := 1 + rnd.Intn(3)
+	sizes := []int{1 + rnd.Intn(6)}
+	for i := 0; i < depth; i++ {
+		sizes = append(sizes, 1+rnd.Intn(8))
+	}
+	acts := []Activation{Linear, ReLU, Tanh}
+	m := NewMLP(rnd, acts[rnd.Intn(3)], acts[rnd.Intn(3)], sizes...)
+	opt := NewAdam(0.001 + rnd.Float64()*0.01)
+	in := make([]float64, sizes[0])
+	dOut := make([]float64, sizes[len(sizes)-1])
+	for step := 0; step < rnd.Intn(5); step++ {
+		for i := range in {
+			in[i] = rnd.NormFloat64()
+		}
+		for i := range dOut {
+			dOut[i] = rnd.NormFloat64()
+		}
+		m.Forward(in)
+		m.Backward(dOut)
+		opt.Step(m, 1)
+	}
+	return m, opt
+}
+
+// mlpEqual compares every persistent field bitwise (scratch buffers
+// excluded: a decoded network starts with clean scratch).
+func mlpEqual(t *testing.T, a, b *MLP) {
+	t.Helper()
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatalf("layer count %d != %d", len(a.Layers), len(b.Layers))
+	}
+	for li, la := range a.Layers {
+		lb := b.Layers[li]
+		if la.In != lb.In || la.Out != lb.Out || la.Act != lb.Act {
+			t.Fatalf("layer %d shape/act mismatch", li)
+		}
+		pairs := [][2][]float64{
+			{la.W, lb.W}, {la.B, lb.B},
+			{la.mW, lb.mW}, {la.vW, lb.vW},
+			{la.mB, lb.mB}, {la.vB, lb.vB},
+			{la.gW, lb.gW}, {la.gB, lb.gB},
+		}
+		for pi, p := range pairs {
+			if len(p[0]) != len(p[1]) {
+				t.Fatalf("layer %d slice %d length mismatch", li, pi)
+			}
+			for i := range p[0] {
+				if math.Float64bits(p[0][i]) != math.Float64bits(p[1][i]) {
+					t.Fatalf("layer %d slice %d index %d: %v != %v", li, pi, i, p[0][i], p[1][i])
+				}
+			}
+		}
+	}
+}
+
+// Property test: random networks round-trip through the binary codec with
+// every persistent float bitwise intact — including the Adam moments the
+// JSON path drops.
+func TestMLPCodecRoundTripProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		m, opt := randomTrainedMLP(rnd)
+		e := &ckpt.Encoder{}
+		m.Encode(e)
+		opt.Encode(e)
+		d := ckpt.NewDecoder(e.Payload())
+		m2, err := DecodeMLP(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt2, err := DecodeAdam(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mlpEqual(t, m, m2)
+		if *opt != *opt2 {
+			t.Fatalf("trial %d: optimizer %+v != %+v", trial, opt, opt2)
+		}
+
+		// The restored pair must continue training identically: one more
+		// Forward/Backward/Step on both sides, then bitwise re-compare.
+		in := make([]float64, m.InDim())
+		dOut := make([]float64, m.OutDim())
+		for i := range in {
+			in[i] = rnd.NormFloat64()
+		}
+		for i := range dOut {
+			dOut[i] = rnd.NormFloat64()
+		}
+		m.Forward(in)
+		m2.Forward(in)
+		m.Backward(dOut)
+		m2.Backward(dOut)
+		opt.Step(m, 1)
+		opt2.Step(m2, 1)
+		mlpEqual(t, m, m2)
+	}
+}
+
+// A payload describing inconsistent layer chaining or slice shapes must be
+// rejected rather than assembled into a network that panics later.
+func TestDecodeMLPRejectsBadShapes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	m := NewMLP(rnd, ReLU, Tanh, 3, 4, 2)
+
+	// Mismatched layer chaining: encode two layers whose widths disagree.
+	e := &ckpt.Encoder{}
+	broken := NewMLP(rnd, ReLU, Tanh, 3, 4, 2)
+	broken.Layers[1].In = 7 // no longer matches layer 0's Out=4
+	broken.Layers[1].W = make([]float64, 7*2)
+	broken.Layers[1].mW = make([]float64, 7*2)
+	broken.Layers[1].vW = make([]float64, 7*2)
+	broken.Layers[1].gW = make([]float64, 7*2)
+	broken.Encode(e)
+	if _, err := DecodeMLP(ckpt.NewDecoder(e.Payload())); err == nil {
+		t.Fatal("mismatched layer chaining accepted")
+	}
+
+	// Weight slice length disagreeing with the declared shape.
+	e = &ckpt.Encoder{}
+	m.Encode(e)
+	payload := e.Payload()
+	// Re-encode with a clipped weight slice on layer 0.
+	e2 := &ckpt.Encoder{}
+	clipped := NewMLP(rnd, ReLU, Tanh, 3, 4, 2)
+	clipped.Layers[0].W = clipped.Layers[0].W[:len(clipped.Layers[0].W)-1]
+	clipped.Encode(e2)
+	if _, err := DecodeMLP(ckpt.NewDecoder(e2.Payload())); err == nil {
+		t.Fatal("short weight slice accepted")
+	}
+
+	// Truncated payload.
+	if _, err := DecodeMLP(ckpt.NewDecoder(payload[:len(payload)/2])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Checkpoint codecs for the trainer and the replay buffer. Together with
+// the nn codec these capture every bit of state that influences future
+// updates: all six networks (actor, twin critics, and their targets), the
+// three Adam optimizers, the update counter that gates delayed policy
+// updates, the sampling/noise RNG, and the replay ring.
+
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/nn"
+)
+
+// Encode appends the trainer's complete state to e.
+func (t *Trainer) Encode(e *ckpt.Encoder) {
+	// Config first: the decoder rebuilds the trainer from it, then
+	// overwrites the freshly-initialized state with the recorded one.
+	e.Int(t.Cfg.StateDim)
+	e.Int(t.Cfg.GlobalDim)
+	e.Int(t.Cfg.ActionDim)
+	e.Ints(t.Cfg.Hidden)
+	e.Float64(t.Cfg.ActorLR)
+	e.Float64(t.Cfg.CriticLR)
+	e.Float64(t.Cfg.Gamma)
+	e.Float64(t.Cfg.Tau)
+	e.Int(t.Cfg.Batch)
+	e.Int(t.Cfg.PolicyDelay)
+	e.Float64(t.Cfg.TargetNoise)
+	e.Float64(t.Cfg.NoiseClip)
+	e.Float64(t.Cfg.ExploreNoise)
+
+	t.Actor.Encode(e)
+	t.Critic1.Encode(e)
+	t.Critic2.Encode(e)
+	t.actorTarget.Encode(e)
+	t.critic1Target.Encode(e)
+	t.critic2Target.Encode(e)
+	t.actorOpt.Encode(e)
+	t.critic1Opt.Encode(e)
+	t.critic2Opt.Encode(e)
+
+	hi, lo := t.rng.State()
+	e.Uint64(hi)
+	e.Uint64(lo)
+	e.Int(t.updates)
+	e.Float64(t.LastCriticLoss)
+	e.Float64(t.LastActorObjective)
+}
+
+// DecodeTrainer reads a trainer written by Encode. The restored trainer
+// continues the exact update stream of the saved one: same batch samples,
+// same noise draws, same delayed-actor schedule.
+func DecodeTrainer(d *ckpt.Decoder) (*Trainer, error) {
+	cfg := Config{
+		StateDim:  d.Int(),
+		GlobalDim: d.Int(),
+		ActionDim: d.Int(),
+		Hidden:    d.Ints(),
+	}
+	cfg.ActorLR = d.Float64()
+	cfg.CriticLR = d.Float64()
+	cfg.Gamma = d.Float64()
+	cfg.Tau = d.Float64()
+	cfg.Batch = d.Int()
+	cfg.PolicyDelay = d.Int()
+	cfg.TargetNoise = d.Float64()
+	cfg.NoiseClip = d.Float64()
+	cfg.ExploreNoise = d.Float64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.StateDim < 1 || cfg.ActionDim < 1 || cfg.GlobalDim < 0 || cfg.Batch < 1 || cfg.PolicyDelay < 1 {
+		return nil, fmt.Errorf("rl: implausible decoded config %+v", cfg)
+	}
+
+	t := NewTrainer(cfg, 0) // allocates scratch; all stateful fields overwritten below
+	nets := []**nn.MLP{
+		&t.Actor, &t.Critic1, &t.Critic2,
+		&t.actorTarget, &t.critic1Target, &t.critic2Target,
+	}
+	for i, slot := range nets {
+		m, err := nn.DecodeMLP(d)
+		if err != nil {
+			return nil, fmt.Errorf("rl: network %d: %w", i, err)
+		}
+		*slot = m
+	}
+	if t.Actor.InDim() != cfg.StateDim || t.Actor.OutDim() != cfg.ActionDim {
+		return nil, fmt.Errorf("rl: decoded actor is %dx%d, config wants %dx%d",
+			t.Actor.InDim(), t.Actor.OutDim(), cfg.StateDim, cfg.ActionDim)
+	}
+	criticIn := cfg.GlobalDim + cfg.StateDim + cfg.ActionDim
+	if t.Critic1.InDim() != criticIn || t.Critic1.OutDim() != 1 {
+		return nil, fmt.Errorf("rl: decoded critic is %dx%d, config wants %dx1",
+			t.Critic1.InDim(), t.Critic1.OutDim(), criticIn)
+	}
+	opts := []**nn.Adam{&t.actorOpt, &t.critic1Opt, &t.critic2Opt}
+	for i, slot := range opts {
+		a, err := nn.DecodeAdam(d)
+		if err != nil {
+			return nil, fmt.Errorf("rl: optimizer %d: %w", i, err)
+		}
+		*slot = a
+	}
+	hi, lo := d.Uint64(), d.Uint64()
+	t.rng.SetState(hi, lo)
+	t.updates = d.Int()
+	t.LastCriticLoss = d.Float64()
+	t.LastActorObjective = d.Float64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if t.updates < 0 {
+		return nil, fmt.Errorf("rl: update counter %d is negative", t.updates)
+	}
+	return t, nil
+}
+
+// Encode appends the replay ring to e. Only live transitions are written
+// (a freshly-started run's mostly-empty 200k-slot ring costs nothing), but
+// ring geometry — capacity, write cursor, wrap flag — is preserved exactly
+// so eviction order after a resume matches the uninterrupted run.
+func (rb *ReplayBuffer) Encode(e *ckpt.Encoder) {
+	e.Int(len(rb.buf))
+	e.Int(rb.next)
+	e.Bool(rb.full)
+	live := rb.Len()
+	e.Int(live)
+	for i := 0; i < live; i++ {
+		tr := &rb.buf[i]
+		e.Float64s(tr.Global)
+		e.Float64s(tr.State)
+		e.Float64s(tr.Action)
+		e.Float64(tr.Reward)
+		e.Float64s(tr.NextGlobal)
+		e.Float64s(tr.NextState)
+		e.Bool(tr.Done)
+	}
+}
+
+// DecodeReplayBuffer reads a buffer written by Encode.
+func DecodeReplayBuffer(d *ckpt.Decoder) (*ReplayBuffer, error) {
+	capacity := d.Int()
+	next := d.Int()
+	full := d.Bool()
+	live := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("rl: replay capacity %d", capacity)
+	}
+	if next < 0 || next >= capacity {
+		return nil, fmt.Errorf("rl: replay cursor %d out of range [0,%d)", next, capacity)
+	}
+	wantLive := next
+	if full {
+		wantLive = capacity
+	}
+	if live != wantLive {
+		return nil, fmt.Errorf("rl: replay has %d live transitions, geometry implies %d", live, wantLive)
+	}
+	rb := &ReplayBuffer{buf: make([]Transition, capacity), next: next, full: full}
+	for i := 0; i < live; i++ {
+		rb.buf[i] = Transition{
+			Global:     d.Float64s(),
+			State:      d.Float64s(),
+			Action:     d.Float64s(),
+			Reward:     d.Float64(),
+			NextGlobal: d.Float64s(),
+			NextState:  d.Float64s(),
+			Done:       d.Bool(),
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}

@@ -2,9 +2,9 @@ package rl
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -59,7 +59,7 @@ type Trainer struct {
 	critic1Opt *nn.Adam
 	critic2Opt *nn.Adam
 
-	rng     *rand.Rand
+	rng     *rng.Rand
 	updates int
 
 	// Reusable scratch: the trainer is single-threaded, so per-call and
@@ -96,7 +96,7 @@ func (t *Trainer) Instrument(reg *telemetry.Registry) {
 // NewTrainer builds the networks. The critic input is [global, state,
 // action]; the actor input is [state] and its tanh output lies in (-1,1).
 func NewTrainer(cfg Config, seed int64) *Trainer {
-	rng := rand.New(rand.NewSource(seed))
+	r := rng.New(seed)
 	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
 	actorSizes = append(actorSizes, cfg.ActionDim)
 	criticIn := cfg.GlobalDim + cfg.StateDim + cfg.ActionDim
@@ -105,13 +105,13 @@ func NewTrainer(cfg Config, seed int64) *Trainer {
 
 	t := &Trainer{
 		Cfg:        cfg,
-		Actor:      nn.NewMLP(rng, nn.ReLU, nn.Tanh, actorSizes...),
-		Critic1:    nn.NewMLP(rng, nn.ReLU, nn.Linear, criticSizes...),
-		Critic2:    nn.NewMLP(rng, nn.ReLU, nn.Linear, criticSizes...),
+		Actor:      nn.NewMLP(r.Rand, nn.ReLU, nn.Tanh, actorSizes...),
+		Critic1:    nn.NewMLP(r.Rand, nn.ReLU, nn.Linear, criticSizes...),
+		Critic2:    nn.NewMLP(r.Rand, nn.ReLU, nn.Linear, criticSizes...),
 		actorOpt:   nn.NewAdam(cfg.ActorLR),
 		critic1Opt: nn.NewAdam(cfg.CriticLR),
 		critic2Opt: nn.NewAdam(cfg.CriticLR),
-		rng:        rng,
+		rng:        r,
 	}
 	t.actorTarget = t.Actor.Clone()
 	t.critic1Target = t.Critic1.Clone()
@@ -165,7 +165,7 @@ func (t *Trainer) Update(rb *ReplayBuffer) {
 	if rb.Len() < t.Cfg.Batch {
 		return
 	}
-	t.batch = rb.Sample(t.rng, t.Cfg.Batch, t.batch)
+	t.batch = rb.Sample(t.rng.Rand, t.Cfg.Batch, t.batch)
 	batch := t.batch
 
 	// --- critic update ---

@@ -1,0 +1,104 @@
+// Package rng provides the serializable random-number generator the
+// checkpoint subsystem requires. math/rand.Rand hides its source state, so a
+// training run seeded through it cannot be suspended and resumed with a
+// bit-identical stream; this package supplies a PCG (XSL-RR 128/64)
+// generator whose complete state is two uint64 words, wrapped so it still
+// satisfies every *rand.Rand call site in the tree.
+//
+// The wrapper relies on the fact that every math/rand.Rand method used by
+// the trainer (Float64, Int63, Intn, NormFloat64, ExpFloat64, Perm, ...) is
+// a pure function of source draws: restoring the source state restores the
+// stream exactly. The one exception is Rand.Read, which buffers partial
+// words inside rand.Rand itself — resumable code must not use it.
+package rng
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// PCG multiplier and increment (128-bit constants split into hi/lo words),
+// the standard parameters of the pcg64 reference implementation.
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+	incHi = 6364136223846793005
+	incLo = 1442695040888963407
+)
+
+// source is the PCG XSL-RR 128/64 state. It implements rand.Source64.
+type source struct {
+	hi, lo uint64
+}
+
+// Seed implements rand.Source, expanding the 64-bit seed into the 128-bit
+// state with splitmix64 so nearby seeds land in unrelated states.
+func (s *source) Seed(seed int64) {
+	x := uint64(seed)
+	s.hi = splitmix64(&x)
+	s.lo = splitmix64(&x)
+}
+
+// Uint64 implements rand.Source64: advance the 128-bit LCG, output XSL-RR.
+func (s *source) Uint64() uint64 {
+	carryHi, carryLo := bits.Mul64(s.lo, mulLo)
+	carryHi += s.hi*mulLo + s.lo*mulHi
+	lo, c := bits.Add64(carryLo, incLo, 0)
+	hi, _ := bits.Add64(carryHi, incHi, c)
+	s.hi, s.lo = hi, lo
+	return bits.RotateLeft64(s.hi^s.lo, -int(s.hi>>58))
+}
+
+// Int63 implements rand.Source.
+func (s *source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Rand is a math/rand.Rand backed by a serializable PCG source. The
+// embedded *rand.Rand is handed to APIs that take one (nn.NewMLP,
+// ReplayBuffer.Sample, TrainingDistribution.Sample); State/SetState expose
+// the underlying generator for checkpointing.
+type Rand struct {
+	*rand.Rand
+	src *source
+}
+
+// New returns a generator seeded from seed.
+func New(seed int64) *Rand {
+	s := &source{}
+	s.Seed(seed)
+	return &Rand{Rand: rand.New(s), src: s}
+}
+
+// State returns the generator's complete internal state.
+func (r *Rand) State() (hi, lo uint64) {
+	return r.src.hi, r.src.lo
+}
+
+// SetState restores a state previously captured by State. The stream
+// continues exactly where the captured generator would have.
+func (r *Rand) SetState(hi, lo uint64) {
+	r.src.hi, r.src.lo = hi, lo
+}
+
+// Fold derives a sub-seed from (seed, stream): distinct streams yield
+// decorrelated seeds even for identical base seeds. It replaces the
+// correlated pattern of seeding several generators from one value (the
+// trainer's exploration noise and the episode sampler must not share a
+// stream).
+func Fold(seed int64, stream uint64) int64 {
+	x := uint64(seed) + stream*0x9e3779b97f4a7c15
+	z := splitmix64(&x)
+	z ^= splitmix64(&x)
+	return int64(z >> 1)
+}
+
+// splitmix64 is the standard seed-expansion mixer: it advances *x by the
+// golden-ratio increment and returns a finalized output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -142,10 +142,13 @@ func RunBatchObserved(ctx context.Context, scenarios []Scenario, workers int, re
 		inflight.Add(-1)
 		completed.Inc()
 		perWorkerScen[worker].Inc()
-		perWorkerSim[worker].Add(int64(sc.Duration * 1000))
 		if runErr != nil {
+			// A failed Run executed little or none of the scenario's virtual
+			// time; crediting the full duration would inflate this worker's
+			// throughput counter.
 			return runErr
 		}
+		perWorkerSim[worker].Add(int64(sc.Duration * 1000))
 		results[i] = r
 		children[i] = sc.Telemetry
 		return nil

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func batchScenario(seed int64) Scenario {
@@ -117,5 +119,38 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if w := Workers(2, 100); w != 2 {
 		t.Fatalf("Workers(2, 100) = %d", w)
+	}
+}
+
+// A failed Run must not credit its worker with the scenario's simulated
+// time: the per-worker throughput counter would otherwise report virtual
+// seconds that were never executed.
+func TestRunBatchObservedNoSimCreditOnFailure(t *testing.T) {
+	ok := batchScenario(11)
+	bad := batchScenario(12)
+	bad.Flows = []FlowSpec{{Scheme: "no-such-scheme"}}
+
+	reg := telemetry.NewRegistry()
+	// One worker, so all per-worker attribution lands on worker 0.
+	_, err := RunBatchObserved(context.Background(), []Scenario{ok, bad}, 1, reg)
+	if err == nil {
+		t.Fatal("expected the failing scenario's error")
+	}
+	snap := reg.Snapshot()
+	sim, found := snap.Get("runner_worker_0_sim_milliseconds_total")
+	if !found {
+		t.Fatal("worker 0 sim counter missing")
+	}
+	if want := int64(ok.Duration * 1000); sim.Count != want {
+		t.Fatalf("worker 0 credited %d ms of sim time, want %d (only the successful scenario)", sim.Count, want)
+	}
+	// Completion counters still see both scenarios.
+	scen, _ := snap.Get("runner_worker_0_scenarios_total")
+	if scen.Count != 2 {
+		t.Fatalf("worker 0 completed %d scenarios, want 2", scen.Count)
+	}
+	completed, _ := snap.Get("runner_scenarios_completed_total")
+	if completed.Count != 2 {
+		t.Fatalf("completed %d, want 2", completed.Count)
 	}
 }

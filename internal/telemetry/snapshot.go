@@ -152,7 +152,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	for _, m := range s.Metrics {
 		if m.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
 		}
 		switch m.Kind {
 		case KindCounter:
@@ -182,4 +182,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // round-trippable decimal.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the text-format escaping rules for HELP lines
+// (backslash and newline); a raw newline would otherwise terminate the
+// comment mid-string and corrupt the exposition.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -313,3 +313,31 @@ func TestBucketHelpers(t *testing.T) {
 		t.Fatalf("exponential buckets = %v", exp)
 	}
 }
+
+// HELP text containing backslashes or newlines must be escaped per the
+// Prometheus text-format rules; a raw newline would terminate the comment
+// mid-string and corrupt every line after it.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "first line\nsecond line with a \\ backslash").Inc()
+	r.Gauge("after", "must still parse").Set(1)
+
+	var b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if want := `# HELP weird_total first line\nsecond line with a \\ backslash` + "\n"; !strings.Contains(out, want) {
+		t.Fatalf("escaped HELP missing:\n%s", out)
+	}
+	// Every line must be a comment, a sample, or empty — no line may start
+	// mid-help.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "weird_total") && !strings.HasPrefix(line, "after") {
+			t.Fatalf("orphaned exposition line %q:\n%s", line, out)
+		}
+	}
+}

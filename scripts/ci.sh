@@ -12,6 +12,10 @@ go test ./...
 # panics or trips its alloc regression check fails CI without paying for a
 # full measurement run.
 go test -run=NONE -bench=. -benchtime=1x ./...
+# The checkpoint/resume bitwise-determinism guarantee gets its own named
+# race pass so a regression is attributable at a glance (the full-tree
+# race run below also covers it, but buries the name).
+go test -race -run TestResumeDeterminismBitwise ./internal/env
 # The race pass needs a generous timeout: the experiment suite and the
 # parallel learner run full simulations under the detector's ~10x slowdown.
 go test -race -timeout 60m ./...

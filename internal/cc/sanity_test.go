@@ -1,0 +1,258 @@
+package cc
+
+// Per-scheme sanity tests for the learning-based and delay-based baselines:
+// window/rate bounds, reaction to loss, and reaction to RTT rise. These pin
+// the control laws the comparison figures depend on — a scheme that stops
+// backing off (or starts overreacting) would silently reshape every
+// fairness and friendliness result.
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// --- Copa ---
+
+func TestCopaTimeoutHalvesWindowLossIgnored(t *testing.T) {
+	c := NewCopa()
+	_, f := newTestFlow(c)
+	f.SetCwnd(80)
+	// Copa is delay-controlled: plain loss does not move the window.
+	c.OnLoss(f, transport.LossEvent{PktNum: 5, Bytes: 1500, Packets: 1})
+	if f.Cwnd() != 80 {
+		t.Fatalf("cwnd after plain loss %v, want 80", f.Cwnd())
+	}
+	c.OnLoss(f, transport.LossEvent{Timeout: true})
+	if f.Cwnd() != 40 {
+		t.Fatalf("cwnd after timeout %v, want 40", f.Cwnd())
+	}
+}
+
+func TestCopaRTTRiseShrinksWindowWithFloor(t *testing.T) {
+	c := NewCopa()
+	_, f := newTestFlow(c)
+	f.SetCwnd(50)
+	// Closed loop: every window packet contributes 2 ms of queueing delay on
+	// a 10 ms path, so holding 50 packets means a 110 ms RTT. Copa's
+	// inverse-delay target then sits far below 50, and the window must come
+	// down toward it — never through the floor of 2.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		w := f.Cwnd()
+		rtt := 0.010 + 0.002*w
+		c.OnAck(f, transport.AckEvent{
+			Now: float64(i) * 0.001, RTT: rtt, SRTT: rtt, MinRTT: 0.010,
+		})
+		if f.Cwnd() < 2 {
+			t.Fatalf("cwnd %v fell below the floor of 2", f.Cwnd())
+		}
+		if i >= n/2 {
+			sum += f.Cwnd()
+		}
+	}
+	if avg := sum / (n / 2); avg > 30 {
+		t.Fatalf("mean cwnd %v over the second half did not shrink toward the delay target", avg)
+	}
+}
+
+func TestCopaLowDelayGrowsWindow(t *testing.T) {
+	c := NewCopa()
+	_, f := newTestFlow(c)
+	f.SetCwnd(10)
+	// Near-empty queue: the inverse-delay target is huge, so the window must
+	// climb.
+	for i := 0; i < 200; i++ {
+		c.OnAck(f, transport.AckEvent{
+			Now: float64(i) * 0.001, RTT: 0.0101, SRTT: 0.010, MinRTT: 0.010,
+		})
+	}
+	if f.Cwnd() <= 10 {
+		t.Fatalf("cwnd %v did not grow on an empty queue", f.Cwnd())
+	}
+}
+
+// --- Remy ---
+
+func TestRemyLossBackoffOncePerWindow(t *testing.T) {
+	r := NewRemy()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	r.OnLoss(f, transport.LossEvent{PktNum: 5, Bytes: 1500, Packets: 1})
+	if f.Cwnd() != 70 {
+		t.Fatalf("cwnd after loss %v, want 70", f.Cwnd())
+	}
+	// A second loss from the same window (PktNum below recovery end) must
+	// not compound the backoff.
+	r.OnLoss(f, transport.LossEvent{PktNum: 6, Bytes: 1500, Packets: 1})
+	if f.Cwnd() != 70 {
+		t.Fatalf("cwnd reduced twice in one window: %v", f.Cwnd())
+	}
+	r.OnLoss(f, transport.LossEvent{Timeout: true})
+	if f.Cwnd() != 35 {
+		t.Fatalf("cwnd after timeout %v, want 35", f.Cwnd())
+	}
+}
+
+func TestRemyRTTRiseSelectsDecreaseRule(t *testing.T) {
+	r := NewRemy()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	// rttRatio 2.0 lands in the heavy-queue rule (x0.8, -1).
+	r.OnMTP(f, transport.MTPStats{MinRTT: 0.010, AvgRTT: 0.020, ThroughputBps: 5e6, Duration: 0.02})
+	if f.Cwnd() != 100*0.8-1 {
+		t.Fatalf("cwnd after heavy-queue rule %v, want 79", f.Cwnd())
+	}
+	// The same rule from a tiny window must respect the floor of 2.
+	f.SetCwnd(2)
+	r.OnMTP(f, transport.MTPStats{MinRTT: 0.010, AvgRTT: 0.020, ThroughputBps: 5e6, Duration: 0.02})
+	if f.Cwnd() < 2 {
+		t.Fatalf("cwnd %v fell below the floor of 2", f.Cwnd())
+	}
+}
+
+func TestRemyEmptyQueueRampsUp(t *testing.T) {
+	r := NewRemy()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	// rttRatio 1.05 lands in the headroom rule (x1.25, +3).
+	r.OnMTP(f, transport.MTPStats{MinRTT: 0.010, AvgRTT: 0.0105, ThroughputBps: 5e6, Duration: 0.02})
+	if f.Cwnd() != 100*1.25+3 {
+		t.Fatalf("cwnd after headroom rule %v, want 128", f.Cwnd())
+	}
+}
+
+func TestRemyHoldsWithoutRTTSignal(t *testing.T) {
+	r := NewRemy()
+	_, f := newTestFlow(r)
+	f.SetCwnd(100)
+	r.OnMTP(f, transport.MTPStats{MinRTT: 0, AvgRTT: 0, Duration: 0.02})
+	if f.Cwnd() != 100 {
+		t.Fatalf("cwnd moved without an RTT signal: %v", f.Cwnd())
+	}
+}
+
+// --- Vivace ---
+
+func TestVivaceRTTRiseLowersUtilityAndRate(t *testing.T) {
+	v := NewVivace(DefaultVivaceConfig())
+	_, f := newTestFlow(v)
+	v.Init(f)
+	rate0 := v.rateBps
+	// Drive paired monitor intervals where latency keeps rising while the
+	// up-probe is active: the latency penalty puts the gradient against
+	// pushing harder, so the decided rate must come down, never below floor.
+	avgRTT := 0.020
+	for i := 0; i < 40; i++ {
+		st := transport.MTPStats{
+			Duration: 0.02, AvgRTT: avgRTT, MinRTT: 0.010,
+			ThroughputBps: 5e6, LossRate: 0.3,
+		}
+		avgRTT += 0.004
+		v.OnMTP(f, st)
+		if v.rateBps < 0.12e6 {
+			t.Fatalf("rate %v fell below the 0.12 Mbps floor", v.rateBps)
+		}
+	}
+	if v.rateBps >= rate0 {
+		t.Fatalf("rate %v did not drop under rising latency and loss (start %v)", v.rateBps, rate0)
+	}
+}
+
+func TestVivaceIsRateBased(t *testing.T) {
+	v := NewVivace(DefaultVivaceConfig())
+	_, f := newTestFlow(v)
+	v.Init(f)
+	// The window must be parked far out of the way: Vivace controls pacing.
+	if f.Cwnd() < 1e8 {
+		t.Fatalf("cwnd %v; vivace should park the window out of the way", f.Cwnd())
+	}
+	if f.PacingBps() <= 0 {
+		t.Fatal("vivace did not set a pacing rate")
+	}
+}
+
+// --- Orca ---
+
+func TestOrcaLossDelegatesToCubic(t *testing.T) {
+	o := NewOrca(nil)
+	_, f := newTestFlow(o)
+	f.SetCwnd(100)
+	o.OnLoss(f, transport.LossEvent{PktNum: 10, Bytes: 1500, Packets: 1})
+	if f.Cwnd() != 70 {
+		t.Fatalf("cwnd after loss %v, want 70 (cubic beta)", f.Cwnd())
+	}
+}
+
+func TestOrcaOverlayReactsToRTTRise(t *testing.T) {
+	o := NewOrca(nil)
+	_, f := newTestFlow(o)
+	f.SetCwnd(100)
+	// Deep queue (latency ratio 2.5): the overlay shrinks the window.
+	o.OnMTP(f, transport.MTPStats{
+		MinRTT: 0.010, AvgRTT: 0.025, ThroughputBps: 9e6, MaxTputBps: 10e6,
+	})
+	if f.Cwnd() >= 100 {
+		t.Fatalf("cwnd %v did not shrink on a deep queue", f.Cwnd())
+	}
+	// Healthy operating point: the overlay leaves Cubic alone.
+	f.SetCwnd(100)
+	o.OnMTP(f, transport.MTPStats{
+		MinRTT: 0.010, AvgRTT: 0.011, ThroughputBps: 9.5e6, MaxTputBps: 10e6,
+	})
+	if f.Cwnd() != 100 {
+		t.Fatalf("cwnd %v moved at a healthy operating point", f.Cwnd())
+	}
+	// Underutilized link with no queue: push.
+	o.OnMTP(f, transport.MTPStats{
+		MinRTT: 0.010, AvgRTT: 0.011, ThroughputBps: 5e6, MaxTputBps: 10e6,
+	})
+	if f.Cwnd() <= 100 {
+		t.Fatalf("cwnd %v did not grow on an underutilized link", f.Cwnd())
+	}
+}
+
+// --- Aurora ---
+
+func TestAuroraBacksOffOnLossDownToFloor(t *testing.T) {
+	a := NewAurora(nil)
+	_, f := newTestFlow(a)
+	a.Init(f)
+	// Persistent heavy loss (send rate double the delivery rate): the policy
+	// must keep backing off, bottoming out exactly at the rate floor.
+	for i := 0; i < 100; i++ {
+		a.OnMTP(f, transport.MTPStats{
+			Duration: 0.02, ThroughputBps: 1e6, SendRateBps: 2e6,
+			MinRTT: 0.010, AvgRTT: 0.012,
+		})
+		if a.rateBps < 0.3e6 {
+			t.Fatalf("rate %v fell below the 0.3 Mbps floor", a.rateBps)
+		}
+	}
+	if a.rateBps != 0.3e6 {
+		t.Fatalf("rate %v did not reach the floor under persistent heavy loss", a.rateBps)
+	}
+}
+
+func TestAuroraShrugsAtLatencyRise(t *testing.T) {
+	a := NewAurora(nil)
+	_, f := newTestFlow(a)
+	a.Init(f)
+	rate0 := a.rateBps
+	// Loss-free intervals with steadily growing latency: Aurora's reward is
+	// throughput-dominated, so it keeps pushing — the behaviour behind the
+	// paper's Fig. 1a latency comparison. (A latency *blowup* with gradient
+	// > 2 per interval is the only delay signal that registers.)
+	avgRTT := 0.012
+	for i := 0; i < 20; i++ {
+		a.OnMTP(f, transport.MTPStats{
+			Duration: 0.02, ThroughputBps: 5e6, SendRateBps: 5e6,
+			MinRTT: 0.010, AvgRTT: avgRTT,
+		})
+		avgRTT += 0.002
+	}
+	if a.rateBps <= rate0 {
+		t.Fatalf("rate %v backed off on latency alone (start %v)", a.rateBps, rate0)
+	}
+}

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/runner"
+	"repro/internal/transport"
+)
+
+// seedFlag reruns the sweep for a single generator seed, reproducing a
+// failure exactly:
+//
+//	go test ./internal/check -run TestRandomScenarioInvariants -seed=17
+var seedFlag = flag.Int64("seed", -1, "run only the random scenario generated from this seed")
+
+// sweepSize is the number of seeded random scenarios the invariant sweep
+// runs (seeds 0..sweepSize-1). ci.sh runs the sweep under -race.
+const sweepSize = 220
+
+// runSeed generates, instruments and runs one scenario, returning a
+// description of every invariant violation.
+func runSeed(seed int64) (violations []string, err error) {
+	sc := NewGenerator(seed).Scenario()
+	c := NewChecker()
+	c.Attach(&sc)
+	res, err := runner.Run(sc)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: %w", seed, err)
+	}
+	if c.Events() == 0 {
+		return nil, fmt.Errorf("seed %d: checker inspected zero events — harness unhooked", seed)
+	}
+	for _, v := range c.Finish(res) {
+		violations = append(violations, fmt.Sprintf("seed %d: %s", seed, v))
+	}
+	if n := c.Total(); n > len(violations) {
+		violations = append(violations, fmt.Sprintf("seed %d: ... %d violations total", seed, n))
+	}
+	return violations, nil
+}
+
+func TestRandomScenarioInvariants(t *testing.T) {
+	if *seedFlag >= 0 {
+		vs, err := runSeed(*seedFlag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			t.Error(v)
+		}
+		return
+	}
+	if testing.Short() {
+		t.Skip("sweep is the long pole; run without -short")
+	}
+
+	var mu sync.Mutex
+	var all []string
+	err := runner.ForEach(sweepSize, 0, func(i int) error {
+		vs, err := runSeed(int64(i))
+		if err != nil {
+			return err
+		}
+		if len(vs) > 0 {
+			mu.Lock()
+			all = append(all, vs...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) > 0 {
+		for i, v := range all {
+			if i >= 40 {
+				t.Errorf("... and %d more", len(all)-40)
+				break
+			}
+			t.Error(v)
+		}
+		t.Fatalf("%d invariant violations across %d scenarios (rerun one with -seed=N)", len(all), sweepSize)
+	}
+}
+
+// TestCheckerCatchesSabotage proves the harness itself can fail: with a
+// deliberately overstated propagation floor, real RTT samples must trip the
+// rtt-floor rule. A checker that stays silent under sabotage would make the
+// whole sweep vacuous.
+func TestCheckerCatchesSabotage(t *testing.T) {
+	sc := runner.Scenario{
+		Seed: 1, RateBps: 20e6, BaseRTT: 0.020, QueueBDP: 1, Duration: 3,
+		Flows: []runner.FlowSpec{{Scheme: "cubic"}},
+	}
+	c := NewChecker()
+	c.Attach(&sc)
+	// Layer over the checker's own hook: after it registers the flow,
+	// overstate the flow's propagation floor tenfold.
+	inner := sc.OnFlowCreated
+	sc.OnFlowCreated = func(i int, f *transport.Flow) {
+		inner(i, f)
+		c.flows[len(c.flows)-1].baseRTT *= 10
+	}
+	res := runner.MustRun(sc)
+	c.Finish(res)
+	if c.Total() == 0 {
+		t.Fatal("checker recorded no violations against a sabotaged RTT floor")
+	}
+	found := false
+	for _, v := range c.Violations() {
+		if v.Rule == "rtt-floor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected rtt-floor violations, got %v", c.Violations())
+	}
+}
+
+// describeScenario renders every generated field by value (the Discipline
+// is an interface holding a pointer, so plain %+v would compare addresses).
+func describeScenario(sc runner.Scenario) string {
+	var disc string
+	switch d := sc.Discipline.(type) {
+	case nil:
+		disc = "droptail"
+	case *netem.RED:
+		disc = fmt.Sprintf("red{min:%d max:%d p:%v}", d.MinThresholdBytes, d.MaxThresholdBytes, d.MaxProb)
+	case *netem.CoDel:
+		disc = fmt.Sprintf("codel{target:%v interval:%v}", d.Target, d.Interval)
+	default:
+		disc = fmt.Sprintf("%T", d)
+	}
+	return fmt.Sprintf("seed=%d rate=%v rtt=%v qB=%d qBDP=%v loss=%v dur=%v jit=%v cross=%v disc=%s flows=%+v",
+		sc.Seed, sc.RateBps, sc.BaseRTT, sc.QueueBytes, sc.QueueBDP, sc.LossProb,
+		sc.Duration, sc.Jitter, sc.CrossBps, disc, sc.Flows)
+}
+
+// TestGeneratorDeterministic: the same seed must yield the same scenario,
+// or -seed=N reproduction is a lie.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := describeScenario(NewGenerator(42).Scenario())
+	b := describeScenario(NewGenerator(42).Scenario())
+	if a != b {
+		t.Fatalf("same seed produced different scenarios:\n%s\n%s", a, b)
+	}
+	c := describeScenario(NewGenerator(43).Scenario())
+	if a == c {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}

@@ -1,0 +1,163 @@
+package check
+
+// Metamorphic tests: relations that must hold between *pairs* of runs, so
+// they need no hand-computed expected values — the simulator is its own
+// oracle. These guard the emulation's physics, where a plain regression
+// test would only pin today's (possibly wrong) numbers.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// shares returns each flow's fraction of the total delivered throughput
+// over the scenario's second half (past startup transients).
+func shares(res *runner.Result) []float64 {
+	dur := res.Scenario.Duration
+	raw := make([]float64, len(res.Flows))
+	var total float64
+	for i, fr := range res.Flows {
+		raw[i] = fr.AvgTputWindow(dur/2, dur)
+		total += raw[i]
+	}
+	if total == 0 {
+		return raw
+	}
+	for i := range raw {
+		raw[i] /= total
+	}
+	return raw
+}
+
+// TestRateScalingPreservesShares: multiplying the link rate by k while the
+// buffer stays at the same BDP multiple (so queue capacity scales with the
+// traffic) must preserve the flows' *normalized* shares of throughput. The
+// absolute numbers all change; the division of the link must not. Every
+// case uses identical flows, so the flows are exchangeable — which index
+// ends up ahead is phase-dependent and may legitimately flip under scaling
+// — and the invariant is the sorted share distribution, not the per-index
+// assignment.
+func TestRateScalingPreservesShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run metamorphic test; run without -short")
+	}
+	cases := []struct {
+		name  string
+		flows []runner.FlowSpec
+	}{
+		{"2xcubic", []runner.FlowSpec{{Scheme: "cubic"}, {Scheme: "cubic", Start: 1}}},
+		{"2xreno", []runner.FlowSpec{{Scheme: "reno"}, {Scheme: "reno", Start: 1}}},
+		{"3xbbr", []runner.FlowSpec{{Scheme: "bbr"}, {Scheme: "bbr", Start: 0.5}, {Scheme: "bbr", Start: 1}}},
+	}
+	const k = 3.0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base := runner.Scenario{
+				Seed: 11, RateBps: 12e6, BaseRTT: 0.030, QueueBDP: 1.5,
+				Duration: 30, Flows: tc.flows,
+			}
+			scaled := base
+			scaled.RateBps *= k
+
+			resBase := runner.MustRun(base)
+			resScaled := runner.MustRun(scaled)
+			sBase, sScaled := shares(resBase), shares(resScaled)
+			sort.Float64s(sBase)
+			sort.Float64s(sScaled)
+			for i := range sBase {
+				if d := math.Abs(sBase[i] - sScaled[i]); d > 0.15 {
+					t.Errorf("flow %d share moved %.3f -> %.3f (Δ%.3f) under x%.0f rate scaling",
+						i, sBase[i], sScaled[i], d, k)
+				}
+			}
+			if d := math.Abs(resBase.Utilization - resScaled.Utilization); d > 0.15 {
+				t.Errorf("utilization moved %.3f -> %.3f under x%.0f rate scaling",
+					resBase.Utilization, resScaled.Utilization, k)
+			}
+		})
+	}
+}
+
+// TestAIMDFairnessOracle: two identical AIMD (Reno) flows on an equal-RTT
+// dumbbell must converge to near-perfect fairness — Chiu & Jain proved it,
+// so the emulator has no excuse. The oracle is metrics.JainOverTime over
+// smoothed per-flow throughput.
+func TestAIMDFairnessOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60s-sim fairness oracle; run without -short")
+	}
+	res := runner.MustRun(runner.Scenario{
+		Seed: 21, RateBps: 30e6, BaseRTT: 0.030, QueueBDP: 1, Duration: 60,
+		Flows: []runner.FlowSpec{
+			{Scheme: "reno", Start: 0},
+			{Scheme: "reno", Start: 2},
+		},
+	})
+	// Smooth over ~2 RTT-scale sawtooth periods so the index measures rate
+	// allocation, not instantaneous phase offsets.
+	series := []*metrics.Timeseries{
+		metrics.Smooth(res.Flows[0].Tput, 4),
+		metrics.Smooth(res.Flows[1].Tput, 4),
+	}
+	jain := metrics.JainOverTime(series, 1e5)
+	if len(jain) == 0 {
+		t.Fatal("no overlapping activity between the two flows")
+	}
+	tail := jain[len(jain)*2/3:]
+	if m := metrics.Mean(tail); m < 0.95 {
+		t.Errorf("two identical Reno flows: tail-mean Jain %.4f, want >= 0.95", m)
+	}
+}
+
+// TestStaggeredStopsConserve: flows that stop mid-run with packets in
+// flight must still satisfy every invariant — teardown is where accounting
+// bugs hide.
+func TestStaggeredStopsConserve(t *testing.T) {
+	sc := runner.Scenario{
+		Seed: 31, RateBps: 15e6, BaseRTT: 0.040, QueueBDP: 1, Duration: 8,
+		Flows: []runner.FlowSpec{
+			{Scheme: "cubic", Start: 0, Duration: 3},
+			{Scheme: "bbr", Start: 1, Duration: 3},
+			{Scheme: "vegas", Start: 2},
+		},
+	}
+	c := NewChecker()
+	c.Attach(&sc)
+	res := runner.MustRun(sc)
+	if vs := c.Finish(res); len(vs) > 0 {
+		for _, v := range vs {
+			t.Error(v)
+		}
+		t.Fatalf("%d invariant violations with staggered stops", c.Total())
+	}
+}
+
+// TestSweepCoversAllSchemes: over the sweep's seed range the generator must
+// actually draw every registered algorithm — otherwise "drawn from all
+// registered algorithms" quietly rots as schemes are added.
+func TestSweepCoversAllSchemes(t *testing.T) {
+	seen := map[string]bool{}
+	var pool []string
+	for seed := int64(0); seed < sweepSize; seed++ {
+		g := NewGenerator(seed)
+		pool = g.Schemes
+		for _, f := range g.Scenario().Flows {
+			seen[f.Scheme] = true
+		}
+	}
+	for _, s := range pool {
+		if !seen[s] {
+			t.Errorf("scheme %q never drawn across %d sweep seeds", s, sweepSize)
+		}
+	}
+	if len(pool) < 10 {
+		t.Fatalf("scheme pool suspiciously small: %v", pool)
+	}
+	_ = fmt.Sprint(pool)
+}

@@ -1,0 +1,51 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCkptDecode hammers the container validator and the primitive decoder
+// with arbitrary bytes. Open must never panic, and whenever it does accept
+// an input, re-sealing the extracted payload must reproduce a container
+// holding the identical payload (accept ⇒ round-trippable). The Decoder is
+// driven through every primitive to exercise the sticky-error paths.
+func FuzzCkptDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("payload")))
+	var e Encoder
+	e.Int(2)
+	e.Float64s([]float64{1.5, -2.5})
+	e.Bytes([]byte("tail"))
+	e.Bool(true)
+	f.Add(Seal(e.Payload()))
+	corrupt := Seal([]byte("payload"))
+	corrupt[len(corrupt)-1] ^= 0x01
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data)
+		if err == nil {
+			again, err2 := Open(Seal(payload))
+			if err2 != nil {
+				t.Fatalf("re-sealed accepted payload rejected: %v", err2)
+			}
+			if !bytes.Equal(again, payload) {
+				t.Fatalf("payload changed across seal/open round trip")
+			}
+		}
+
+		d := NewDecoder(data)
+		d.Uint64()
+		d.Int64()
+		d.Int()
+		d.Bool()
+		d.Float64()
+		d.Float64s()
+		d.Ints()
+		d.Bytes()
+		_ = d.Finish()
+	})
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// FuzzLoadPolicy exercises the full deployment-side loading path: arbitrary
+// bytes land on disk as a weights file, and LoadPolicy either rejects them
+// with an error or returns a policy whose Action runs without panicking and
+// respects the clamp (never outside [-1, 1]; NaN can only arise from
+// arithmetic overflow inside a successfully validated net, which the clamp
+// cannot catch, so only the range is asserted).
+func FuzzLoadPolicy(f *testing.F) {
+	cfg := DefaultConfig()
+	// A short history keeps the valid seed inputs small (a default-width
+	// actor serializes to tens of kilobytes, which cripples mutation
+	// throughput) while exercising the identical validation paths.
+	cfg.HistoryLen = 1
+	rng := rand.New(rand.NewSource(3))
+	actor := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 16, 1)
+	if js, err := json.Marshal(actor); err == nil {
+		f.Add(js)
+	}
+	wrongDim := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim()+1, 4, 1)
+	if js, err := json.Marshal(wrongDim); err == nil {
+		f.Add(js)
+	}
+	f.Add([]byte(`{"layers":[]}`))
+	f.Add([]byte(`{"layers":[{"in":-1,"out":0,"act":"relu","w":[],"b":[]}]}`))
+	f.Add([]byte("not json"))
+
+	dir, err := os.MkdirTemp("", "fuzz-loadpolicy-*")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "policy.json")
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := LoadPolicy(path, cfg)
+		if err != nil {
+			return
+		}
+		state := make([]float64, cfg.StateDim())
+		for i := range state {
+			state[i] = float64(i%7) * 0.25
+		}
+		a := p.Action(state)
+		if a < -1 || a > 1 {
+			t.Fatalf("action %v escaped the [-1,1] clamp", a)
+		}
+	})
+}

@@ -17,6 +17,16 @@ type QueueDiscipline interface {
 	OnDequeue(now float64, sojourn float64, p *Packet) bool
 }
 
+// Cloner is implemented by disciplines that carry mutable run state (RED's
+// averaged queue, CoDel's drop schedule). NewLink clones such disciplines,
+// so a discipline instance placed in a shared config — a runner.Scenario
+// reused across runs, or a grid submitted to the batch engine — never
+// leaks state between links or races between workers. Stateless
+// disciplines (DropTail) need not implement it.
+type Cloner interface {
+	CloneDiscipline() QueueDiscipline
+}
+
 // DropTail admits while the buffer has room.
 type DropTail struct{}
 
@@ -68,6 +78,19 @@ func (r *RED) Admit(now float64, qBytes, limitBytes int, p *Packet) bool {
 // OnDequeue implements QueueDiscipline.
 func (r *RED) OnDequeue(float64, float64, *Packet) bool { return false }
 
+// CloneDiscipline implements Cloner: configuration is copied, the EWMA
+// restarts at zero. An explicitly injected Rand is kept; a nil Rand lets
+// NewLink wire in the owning simulator's seeded RNG.
+func (r *RED) CloneDiscipline() QueueDiscipline {
+	return &RED{
+		MinThresholdBytes: r.MinThresholdBytes,
+		MaxThresholdBytes: r.MaxThresholdBytes,
+		MaxProb:           r.MaxProb,
+		Weight:            r.Weight,
+		Rand:              r.Rand,
+	}
+}
+
 // CoDel implements the Controlled Delay AQM (Nichols & Jacobson): when the
 // minimum sojourn time stays above Target for an Interval, packets are
 // dropped at dequeue with the drop spacing shrinking as interval/sqrt(n).
@@ -84,6 +107,12 @@ type CoDel struct {
 // NewCoDel returns a CoDel instance with the standard 5 ms / 100 ms
 // parameters.
 func NewCoDel() *CoDel { return &CoDel{Target: 0.005, Interval: 0.100} }
+
+// CloneDiscipline implements Cloner: configuration is copied, the drop
+// state machine restarts idle.
+func (c *CoDel) CloneDiscipline() QueueDiscipline {
+	return &CoDel{Target: c.Target, Interval: c.Interval}
+}
 
 // Admit implements QueueDiscipline: CoDel never drops at enqueue beyond the
 // hard limit.

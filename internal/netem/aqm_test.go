@@ -120,8 +120,15 @@ func TestLinkWithREDUsesSimRNG(t *testing.T) {
 	s := sim.New(7)
 	red := &RED{MinThresholdBytes: 1500, MaxThresholdBytes: 15000, MaxProb: 0.5, Weight: 1}
 	l := NewLink(s, "l", LinkConfig{RateBps: 10e6, Delay: 0, QueueBytes: 1 << 20, Discipline: red})
-	if red.Rand == nil {
-		t.Fatal("NewLink did not wire the simulator RNG into RED")
+	clone, ok := l.Config().Discipline.(*RED)
+	if !ok || clone == red {
+		t.Fatal("NewLink did not clone the RED template into a private instance")
+	}
+	if clone.Rand == nil {
+		t.Fatal("NewLink did not wire the simulator RNG into its RED clone")
+	}
+	if red.Rand != nil {
+		t.Fatal("NewLink mutated the caller's RED template")
 	}
 	dropped := 0
 	for i := 0; i < 200; i++ {
@@ -131,5 +138,26 @@ func TestLinkWithREDUsesSimRNG(t *testing.T) {
 	s.Run(1)
 	if dropped == 0 {
 		t.Fatal("RED never early-dropped under an instantaneous burst")
+	}
+}
+
+// Regression (found by the check-package differential suite): a stateful
+// discipline instance shared by two links must not share mutable state —
+// before the Cloner mechanism, RED's EWMA and Rand and CoDel's drop
+// schedule bled between links, between reruns of one Scenario, and raced
+// between batch workers.
+func TestStatefulDisciplinesClonedPerLink(t *testing.T) {
+	s := sim.New(1)
+	red := &RED{MinThresholdBytes: 1500, MaxThresholdBytes: 15000, MaxProb: 0.5, Weight: 1}
+	l1 := NewLink(s, "a", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20, Discipline: red})
+	l2 := NewLink(s, "b", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20, Discipline: red})
+	if l1.Config().Discipline == l2.Config().Discipline {
+		t.Fatal("two links share one RED instance")
+	}
+	cd := NewCoDel()
+	cd.dropping = true // dirty template state must not leak into links
+	l3 := NewLink(s, "c", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20, Discipline: cd})
+	if got := l3.Config().Discipline.(*CoDel); got.dropping {
+		t.Fatal("CoDel clone inherited the template's run state")
 	}
 }

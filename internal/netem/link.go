@@ -97,6 +97,13 @@ func NewLink(s *sim.Simulator, name string, cfg LinkConfig) *Link {
 	if cfg.Discipline == nil {
 		cfg.Discipline = DropTail{}
 	}
+	// Stateful disciplines are cloned so this link owns private state: the
+	// caller's instance may sit in a Scenario that is rerun or fanned
+	// across batch workers, and sharing the mutable EWMA/drop schedule
+	// would bleed state across runs (and race across workers).
+	if cl, ok := cfg.Discipline.(Cloner); ok {
+		cfg.Discipline = cl.CloneDiscipline()
+	}
 	if red, ok := cfg.Discipline.(*RED); ok && red.Rand == nil {
 		red.Rand = s.Rand().Float64
 	}
@@ -124,6 +131,15 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // QueueBytes returns current queue occupancy (excluding the packet in
 // service).
 func (l *Link) QueueBytes() int { return l.qBytes }
+
+// QueueLen returns the number of packets waiting in the queue (excluding
+// the packet in service).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// InService reports whether a packet is currently being serialized onto the
+// wire. Together with QueueLen and Stats it closes the link's conservation
+// identity: Arrived == Delivered + drops + QueueLen + InService.
+func (l *Link) InService() bool { return l.busy }
 
 // MaxQueueBytes returns the high-water mark of queue occupancy.
 func (l *Link) MaxQueueBytes() int { return l.maxQSeen }

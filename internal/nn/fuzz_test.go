@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// FuzzCodecRead throws arbitrary bytes at both weight decoders — the binary
+// checkpoint codec and the JSON weight format. The property under test is
+// "successful decode implies a usable network": any input either errors out
+// or yields a model whose Forward runs without panicking. This is what
+// found the hostile-shape holes in UnmarshalJSON (negative dims, int
+// overflow in In*Out, mismatched layer chains) pinned by
+// TestUnmarshalRejectsHostileShapes.
+func FuzzCodecRead(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, ReLU, Tanh, 4, 8, 1)
+	var e ckpt.Encoder
+	m.Encode(&e)
+	f.Add(e.Payload())
+	if js, err := json.Marshal(m); err == nil {
+		f.Add(js)
+	}
+	f.Add([]byte(`{"layers":[{"in":1,"out":1,"act":"linear","w":[2],"b":[1]}]}`))
+	f.Add([]byte(`{"layers":[{"in":-1,"out":0,"act":"relu","w":[],"b":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeMLP(ckpt.NewDecoder(data)); err == nil {
+			m.Forward(make([]float64, m.InDim()))
+		}
+		var net MLP
+		if err := json.Unmarshal(data, &net); err == nil {
+			net.Forward(make([]float64, net.InDim()))
+		}
+	})
+}

@@ -344,7 +344,8 @@ func (m *MLP) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("nn: model has no layers")
 	}
 	m.Layers = nil
-	for _, jl := range jm.Layers {
+	prevOut := -1
+	for li, jl := range jm.Layers {
 		var act Activation
 		switch jl.Act {
 		case "linear":
@@ -356,10 +357,24 @@ func (m *MLP) UnmarshalJSON(data []byte) error {
 		default:
 			return fmt.Errorf("nn: unknown activation %q", jl.Act)
 		}
+		// Shapes are attacker-controlled here: non-positive dims would panic
+		// in allocScratch, and In*Out can overflow int so that a bogus huge
+		// shape "matches" an empty weight slice and then drives a giant
+		// allocation.
+		if jl.In < 1 || jl.Out < 1 {
+			return fmt.Errorf("nn: layer %d has non-positive shape %dx%d", li, jl.In, jl.Out)
+		}
+		if jl.In > math.MaxInt/jl.Out {
+			return fmt.Errorf("nn: layer %d shape %dx%d overflows", li, jl.In, jl.Out)
+		}
 		if len(jl.W) != jl.In*jl.Out || len(jl.B) != jl.Out {
 			return fmt.Errorf("nn: layer shape mismatch: %dx%d with %d weights, %d biases",
 				jl.In, jl.Out, len(jl.W), len(jl.B))
 		}
+		if prevOut >= 0 && jl.In != prevOut {
+			return fmt.Errorf("nn: layer %d input %d does not match previous output %d", li, jl.In, prevOut)
+		}
+		prevOut = jl.Out
 		m.Layers = append(m.Layers, &Dense{
 			In: jl.In, Out: jl.Out, Act: act,
 			W: jl.W, B: jl.B,

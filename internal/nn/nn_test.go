@@ -192,6 +192,26 @@ func TestUnmarshalRejectsBadShapes(t *testing.T) {
 	}
 }
 
+// Regression (found via FuzzCodecRead): hostile shape fields used to slip
+// past the weight-count check and then panic or OOM in allocScratch, and a
+// mismatched layer chain decoded fine only to panic at the first Forward.
+func TestUnmarshalRejectsHostileShapes(t *testing.T) {
+	cases := map[string]string{
+		"negative in": `{"layers":[{"in":-1,"out":0,"act":"relu","w":[],"b":[]}]}`,
+		"zero out":    `{"layers":[{"in":1,"out":0,"act":"relu","w":[],"b":[]}]}`,
+		// 2^32 x 2^32 overflows int to 0, "matching" the empty weight slice.
+		"overflowing product": `{"layers":[{"in":4294967296,"out":4294967296,"act":"relu","w":[],"b":[]}]}`,
+		"broken chain": `{"layers":[{"in":1,"out":2,"act":"relu","w":[1,1],"b":[0,0]},
+			{"in":3,"out":1,"act":"linear","w":[1,1,1],"b":[0]}]}`,
+	}
+	for name, data := range cases {
+		var m MLP
+		if err := json.Unmarshal([]byte(data), &m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 // Property: tanh output layer bounds every output to (-1, 1) for arbitrary
 // inputs — the action block depends on this.
 func TestTanhOutputBounded(t *testing.T) {

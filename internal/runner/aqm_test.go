@@ -55,7 +55,10 @@ func TestREDFairnessForCubic(t *testing.T) {
 	if f1 <= 0 || f2 <= 0 {
 		t.Fatalf("a flow starved under RED: %.1f / %.1f Mbps", f1/1e6, f2/1e6)
 	}
-	if red.Rand == nil {
-		t.Fatal("RED RNG not wired by the link")
+	// The link clones the discipline (netem.Cloner), so the caller's
+	// template must come back pristine — rerunning or batch-fanning this
+	// Scenario must not inherit RNG wiring or EWMA state from this run.
+	if red.Rand != nil {
+		t.Fatal("link mutated the caller's RED template instead of cloning it")
 	}
 }

@@ -54,6 +54,12 @@ type Scenario struct {
 	// OnFlowCreated, when set, observes each flow as it is wired up
 	// (before Start), letting callers attach tracers or extra hooks.
 	OnFlowCreated func(i int, f *transport.Flow)
+	// Probe, when set, observes the simulator and topology right after
+	// construction, before any flow is created or any event runs. It exists
+	// for observers that attach to the running simulation — the invariant
+	// checker in internal/check installs its sim.AfterEvent hook here.
+	// Probes must not schedule events or draw from the simulator's RNG.
+	Probe func(s *sim.Simulator, d *netem.Dumbbell)
 	// Telemetry, when set, receives runtime metrics from every layer the
 	// scenario builds: simulator event-loop counters, bottleneck-link
 	// enqueue/drop counters, and transport send/loss/RTT instruments.
@@ -131,6 +137,9 @@ func Run(sc Scenario) (*Result, error) {
 		// Milliseconds as a counter (not a seconds gauge) so per-run
 		// registries merge commutatively.
 		reg.Counter("runner_sim_milliseconds_total", "simulated virtual time executed").Add(int64(sc.Duration * 1000))
+	}
+	if sc.Probe != nil {
+		sc.Probe(s, dumb)
 	}
 	if sc.Trace != nil {
 		sc.Trace.Apply(s, dumb.Bottleneck, sc.Duration, true)

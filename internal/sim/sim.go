@@ -104,6 +104,14 @@ type Simulator struct {
 
 	// Processed counts the number of events executed so far.
 	Processed uint64
+
+	// AfterEvent, when set, runs after every dispatched event callback
+	// completes, with the clock still at the event's time. It exists for
+	// observers that must see the simulation in a quiescent state between
+	// events — invariant checkers above all (see internal/check) — and must
+	// not schedule or cancel events. The cost when unset is one nil check
+	// per event.
+	AfterEvent func()
 }
 
 // New returns a simulator whose randomness derives from seed.
@@ -188,6 +196,9 @@ func (s *Simulator) Step() bool {
 		fn := e.fn
 		s.release(e)
 		fn()
+		if s.AfterEvent != nil {
+			s.AfterEvent()
+		}
 		return true
 	}
 	return false
@@ -213,6 +224,9 @@ func (s *Simulator) Run(until float64) {
 		fn := next.fn
 		s.release(next)
 		fn()
+		if s.AfterEvent != nil {
+			s.AfterEvent()
+		}
 	}
 	if s.now < until {
 		s.now = until

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzTraceParse feeds arbitrary bytes to the mahimahi parser. Accepted
+// inputs must yield a physically sensible trace: points strictly ordered in
+// time, every rate finite and non-negative, and the whole thing re-playable
+// through FormatMahimahi. Rejection is always fine; panics and unbounded
+// allocations (the bug TestParseMahimahiRejectsHostileTimestamps pins) are
+// not.
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte(""), 100)
+	f.Add([]byte("1\n2\n3\n"), 100)
+	f.Add([]byte("# header\n10\n20\n\n30\n"), 50)
+	f.Add([]byte("100\n100\n100\n205\n"), 100)
+	f.Add([]byte("-5\n"), 100)
+	f.Add([]byte("9000000000000000000\n"), 100)
+	f.Add([]byte("not-a-number\n"), 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, binMS int) {
+		tr, err := ParseMahimahi(bytes.NewReader(data), binMS)
+		if err != nil {
+			return
+		}
+		last := math.Inf(-1)
+		for _, p := range tr.Points {
+			if !(p.At > last) {
+				t.Fatalf("points not strictly ordered: %v after %v", p.At, last)
+			}
+			last = p.At
+			if p.RateBps < 0 || math.IsNaN(p.RateBps) || math.IsInf(p.RateBps, 0) {
+				t.Fatalf("non-physical rate %v at t=%v", p.RateBps, p.At)
+			}
+		}
+		if d := tr.Duration(); d > 0 && d < 10 {
+			var buf bytes.Buffer
+			if err := FormatMahimahi(&buf, tr); err != nil {
+				t.Fatalf("accepted trace failed to format: %v", err)
+			}
+		}
+	})
+}

@@ -173,6 +173,13 @@ func Cellular(cfg CellularConfig, dur float64, rng *rand.Rand) *Trace {
 	return tr
 }
 
+// maxTraceBins caps how many rate bins ParseMahimahi will materialize. The
+// output holds one Point per bin up to the largest timestamp, so without a
+// cap a single absurd timestamp (one short line of input) drives an
+// allocation proportional to its value. 2^20 bins is over a day of trace at
+// the default 100 ms granularity.
+const maxTraceBins = 1 << 20
+
 // ParseMahimahi reads a mahimahi-style trace: one integer per line, the
 // millisecond timestamp at which a 1500-byte MTU packet can be delivered.
 // The result is converted to a piecewise rate at granularity ms bins.
@@ -192,7 +199,14 @@ func ParseMahimahi(r io.Reader, binMS int) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad line %q: %w", line, err)
 		}
+		if ms < 0 {
+			return nil, fmt.Errorf("trace: negative timestamp %d ms", ms)
+		}
 		bin := ms / binMS
+		if bin >= maxTraceBins {
+			return nil, fmt.Errorf("trace: timestamp %d ms needs bin %d, beyond the %d-bin cap at %d ms bins",
+				ms, bin, maxTraceBins, binMS)
+		}
 		counts[bin]++
 		if bin > maxBin {
 			maxBin = bin

@@ -138,6 +138,23 @@ func TestParseMahimahiRejectsGarbage(t *testing.T) {
 	}
 }
 
+// Regression (found via FuzzTraceParse): the parser emits one Point per bin
+// up to the largest timestamp, so a single huge timestamp used to drive an
+// allocation proportional to its value, and negative timestamps were
+// silently dropped from the output instead of rejected.
+func TestParseMahimahiRejectsHostileTimestamps(t *testing.T) {
+	if _, err := ParseMahimahi(strings.NewReader("9000000000000000000\n"), 100); err == nil {
+		t.Fatal("accepted a timestamp far beyond the bin cap")
+	}
+	if _, err := ParseMahimahi(strings.NewReader("-5\n"), 100); err == nil {
+		t.Fatal("accepted a negative timestamp")
+	}
+	// The cap must stay clear of real traces: an hour-long trace parses.
+	if _, err := ParseMahimahi(strings.NewReader("3600000\n"), 100); err != nil {
+		t.Fatalf("rejected an hour-long trace: %v", err)
+	}
+}
+
 func TestParseMahimahiSkipsComments(t *testing.T) {
 	tr, err := ParseMahimahi(strings.NewReader("# header\n10\n20\n\n30\n"), 100)
 	if err != nil {

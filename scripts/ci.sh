@@ -1,21 +1,57 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, vet, tests, then the race detector over the full tree.
-# The race pass is the slowest stage (the parallel learner trains real
-# episodes under -race); keep it last so fast failures surface first.
+# Tier-1 gate: build, vet, tests, fuzz smoke, coverage, then the race
+# detector over the full tree. The race pass is the slowest stage (the
+# parallel learner trains real episodes under -race); keep it last so fast
+# failures surface first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# The examples are documentation that compiles; build and vet them like
+# first-class code, then actually run the quickstart as a smoke test so the
+# front-door experience can never silently rot.
+go vet ./examples/...
+go build -o /dev/null ./examples/...
+go run ./examples/quickstart >/dev/null
+
 go test ./...
+
+# Coverage summary: per-package statement coverage plus the total, so a PR
+# that guts a test file shows up as a number, not a feeling.
+COVER=$(mktemp)
+trap 'rm -f "$COVER"' EXIT
+go test -coverprofile="$COVER" ./... >/dev/null
+go tool cover -func="$COVER" | awk '
+  /\.go:/ { split($1, p, "/"); pkg = p[1]"/"p[2]"/"p[3]; sub(/:.*/, "", pkg)
+            cov[pkg] += $NF + 0; n[pkg]++ }
+  /^total:/ { total = $NF }
+  END { for (k in cov) printf "coverage %-28s %5.1f%%\n", k, cov[k]/n[k] | "sort"
+        close("sort"); printf "coverage %-28s %s\n", "TOTAL", total }'
+
 # Benchmark smoke pass: one iteration of every benchmark, so a bench that
 # panics or trips its alloc regression check fails CI without paying for a
 # full measurement run.
 go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Fuzz smoke pass: a short budget per target catches shallow regressions in
+# the parsers/decoders (the committed corpora under testdata/fuzz replay in
+# plain `go test` runs above; this adds fresh mutation on top).
+FUZZTIME=${FUZZTIME:-10s}
+go test -fuzz=FuzzCkptDecode  -fuzztime="$FUZZTIME" -run=NONE ./internal/ckpt
+go test -fuzz=FuzzCodecRead   -fuzztime="$FUZZTIME" -run=NONE ./internal/nn
+go test -fuzz=FuzzTraceParse  -fuzztime="$FUZZTIME" -run=NONE ./internal/trace
+go test -fuzz=FuzzLoadPolicy  -fuzztime="$FUZZTIME" -run=NONE ./internal/core
+
 # The checkpoint/resume bitwise-determinism guarantee gets its own named
 # race pass so a regression is attributable at a glance (the full-tree
 # race run below also covers it, but buries the name).
 go test -race -run TestResumeDeterminismBitwise ./internal/env
+# Property-based invariant sweep under the race detector: 200+ seeded
+# random scenarios with the internal/check invariant checker attached.
+# Reproduce a failing seed with:
+#   go test ./internal/check -run TestRandomScenarioInvariants -seed=N
+go test -race -run TestRandomScenarioInvariants ./internal/check
 # The race pass needs a generous timeout: the experiment suite and the
 # parallel learner run full simulations under the detector's ~10x slowdown.
 go test -race -timeout 60m ./...

@@ -1,0 +1,80 @@
+// Command astraea-loadgen drives an astraea-serve endpoint with open-loop
+// load and reports achieved throughput and latency percentiles. The JSON
+// summary (stdout or -out) feeds the serving benchmark trajectory
+// (scripts/bench-serve.sh → BENCH_serve.json); the human-readable line goes
+// to stderr.
+//
+// Exit status: 0 when every request was answered (fallback answers count as
+// answered — that is the serving contract), 1 when any request failed hard
+// (timeout or transport error), 2 on usage errors.
+//
+// Example:
+//
+//	astraea-loadgen -addr tcp:127.0.0.1:9000 -rate 5000 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "tcp:127.0.0.1:9000", "endpoint to drive, network:address (tcp or unix stream)")
+	rate := flag.Float64("rate", 1000, "target aggregate request rate (req/s)")
+	duration := flag.Duration("duration", time.Second, "run length")
+	conns := flag.Int("conns", 4, "connections to spread load over")
+	outstanding := flag.Int("outstanding", 16, "pipelined requests per connection")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout (a hard failure when exceeded)")
+	out := flag.String("out", "-", `JSON summary destination ("-" = stdout)`)
+	flag.Parse()
+
+	network, address, ok := strings.Cut(*addr, ":")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "astraea-loadgen: bad -addr %q (want network:address)\n", *addr)
+		os.Exit(2)
+	}
+
+	sum, err := serve.RunLoad(serve.LoadOptions{
+		Network:     network,
+		Address:     address,
+		Rate:        *rate,
+		Duration:    *duration,
+		Conns:       *conns,
+		Outstanding: *outstanding,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "astraea-loadgen:", sum.String())
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
+		os.Exit(2)
+	}
+
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "astraea-loadgen: %d requests failed hard\n", sum.Failed)
+		os.Exit(1)
+	}
+}

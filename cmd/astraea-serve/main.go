@@ -1,0 +1,166 @@
+// Command astraea-serve is the production policy inference daemon: the
+// shared batched service of §4 behind real network transports, with
+// per-request deadlines, admission control, a deterministic fallback
+// action, hot policy reload, and graceful drain.
+//
+// Transports: TCP and unix stream sockets speak the length-prefixed framing
+// of internal/serve; udp and unixgram endpoints speak the bare datagram
+// codec, so existing core.ServiceClient senders keep working.
+//
+// Examples:
+//
+//	astraea-serve -listen tcp:127.0.0.1:9000 -policy reference
+//	astraea-serve -listen tcp::9000,unixgram:/tmp/astraea.sock \
+//	    -policy actor.json -reload 1s -deadline 10ms -telemetry :9090
+//
+// Signals: SIGHUP reloads the policy file in place (version bump, no
+// dropped requests); SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:9000",
+		"comma-separated endpoints, each network:address (tcp:host:port, unix:/path, udp:host:port, unixgram:/path)")
+	policyArg := flag.String("policy", "reference", `"reference" or a path to JSON actor weights`)
+	reload := flag.Duration("reload", 0,
+		"poll the -policy file at this interval and hot-reload on change (0 disables; SIGHUP always reloads)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	pprofAddr := flag.String("pprof", "", "alias for -telemetry (the endpoint includes pprof)")
+	maxInflight := flag.Int("max-inflight", 64, "worker pool size: requests inside the service at once")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (default 4×max-inflight; overflow is shed)")
+	deadline := flag.Duration("deadline", 20*time.Millisecond, "per-request budget before the fallback action is returned")
+	window := flag.Duration("window", 5*time.Millisecond, "batching window of the shared service")
+	maxBatch := flag.Int("max-batch", 256, "batch flush threshold")
+	addrFile := flag.String("addr-file", "", "write the bound endpoints (one network:address per line) to this file")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful drain may take before connections are cut")
+	flag.Parse()
+
+	if err := run(*listen, *policyArg, *reload, *telemetryAddr, *pprofAddr,
+		*maxInflight, *queueDepth, *deadline, *window, *maxBatch, *addrFile, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAddr string,
+	maxInflight, queueDepth int, deadline, window time.Duration, maxBatch int,
+	addrFile string, drainTimeout time.Duration) error {
+
+	cfg := core.DefaultConfig()
+	var policy core.Policy
+	policyPath := ""
+	if policyArg == "reference" {
+		policy = core.NewReferencePolicy(cfg)
+	} else {
+		p, err := core.LoadPolicy(policyArg, cfg)
+		if err != nil {
+			return err
+		}
+		policy = p
+		policyPath = policyArg
+	}
+
+	svc := core.NewService(cfg, policy)
+	svc.BatchWindow = window
+	svc.MaxBatch = maxBatch
+	srv := serve.NewServer(svc, cfg, serve.Options{
+		MaxInflight: maxInflight,
+		QueueDepth:  queueDepth,
+		Deadline:    deadline,
+	})
+	reg := telemetry.NewRegistry()
+	srv.Instrument(reg)
+
+	var reloader *serve.Reloader
+	if policyPath != "" {
+		reloader = serve.NewReloader(srv, policyPath, cfg)
+		reloader.Instrument(reg)
+		if reload > 0 {
+			reloader.Interval = reload
+			reloader.Watch()
+			defer reloader.Stop()
+		}
+	}
+
+	if telemetryAddr == "" {
+		telemetryAddr = pprofAddr
+	}
+	if telemetryAddr != "" {
+		bound, closeHTTP, err := telemetry.Serve(telemetryAddr, reg)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer closeHTTP()
+		fmt.Printf("astraea-serve: telemetry and pprof on http://%s/\n", bound)
+	}
+
+	var boundLines []string
+	for _, spec := range strings.Split(listen, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		network, address, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("bad -listen entry %q (want network:address)", spec)
+		}
+		addr, err := srv.Listen(network, address)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("astraea-serve: listening on %s:%s (deadline %v, max-inflight %d)\n",
+			network, addr, deadline, maxInflight)
+		boundLines = append(boundLines, network+":"+addr.String())
+	}
+	if len(boundLines) == 0 {
+		return fmt.Errorf("no endpoints in -listen %q", listen)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(strings.Join(boundLines, "\n")+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			if reloader == nil {
+				fmt.Println("astraea-serve: SIGHUP ignored (-policy reference has no file to reload)")
+				continue
+			}
+			if v, err := reloader.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "astraea-serve: reload rejected:", err)
+			} else {
+				fmt.Printf("astraea-serve: policy reloaded, now version %d\n", v)
+			}
+			continue
+		}
+		break // SIGINT / SIGTERM: drain
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	requests, batches := svc.Stats()
+	fmt.Printf("astraea-serve: drained after %d requests in %d batches (policy version %d)\n",
+		requests, batches, srv.PolicyVersion())
+	if err != nil {
+		return fmt.Errorf("drain forced after %v: %w", drainTimeout, err)
+	}
+	return nil
+}

@@ -171,6 +171,16 @@ func (rp *ReferencePolicy) Action(state []float64) float64 {
 	return rp.actionWithDelta(state, delta)
 }
 
+// FallbackAction is the pure (stateless) rendering of the control law at
+// the default delta: no mode detector, no internal state, so it is safe to
+// call from any number of goroutines concurrently. The serving layer
+// (internal/serve) returns it in-band when a request misses its deadline or
+// is shed at admission — a deterministic safe answer beats blocking a
+// sender on a slow or overloaded model.
+func (rp *ReferencePolicy) FallbackAction(state []float64) float64 {
+	return rp.actionWithDelta(state, rp.Delta)
+}
+
 // actionWithDelta is the pure (stateless) control law at a fixed delta; the
 // distillation pipeline trains the neural actor against it at the default
 // delta.

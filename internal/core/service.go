@@ -16,19 +16,35 @@ import (
 //
 // With BatchWindow == 0 the service degenerates to a synchronous mutex-
 // guarded evaluation, which is what the single-threaded simulator uses; the
-// batching path is exercised by the scalability benchmarks and tests.
+// batching path is exercised by the scalability benchmarks, the tests, and
+// the network-facing server in internal/serve.
+//
+// Concurrency model: s.mu guards only queue bookkeeping (pending slice,
+// timer, counters). Policy evaluation happens on a dedicated evaluator
+// goroutine, never under s.mu and never on a submitter's goroutine, so new
+// arrivals are accepted while a batch forwards through the network, and a
+// caller of Submit can bound its own wait (see internal/serve deadlines)
+// without getting conscripted into evaluating someone else's batch.
+// Policies keep internal scratch state (nn.MLP is not goroutine-safe;
+// ReferencePolicy has a mode detector), so all Action calls — batched and
+// synchronous — are serialized by evalMu.
 type Service struct {
-	policy Policy
-
 	// BatchWindow is how long the server waits to accumulate a batch
 	// (the paper uses 5 ms); MaxBatch flushes earlier when reached.
 	BatchWindow time.Duration
 	MaxBatch    int
 
 	mu      sync.Mutex
+	policy  Policy
 	pending []inferReq
 	timer   *time.Timer
 	closed  bool
+	evalCh  chan evalBatch // lazily started; sends happen under mu
+	evalOn  bool
+
+	// evalMu serializes all policy.Action calls (stateful policies).
+	evalMu sync.Mutex
+	evalWG sync.WaitGroup
 
 	// Telemetry instruments; nil (no-op) unless Instrument was called.
 	mRequests  *telemetry.Counter
@@ -60,12 +76,34 @@ type inferReq struct {
 	enqueued time.Time
 }
 
+// evalBatch is one detached batch handed to the evaluator goroutine. The
+// policy pointer is captured at detach time, so a SetPolicy racing a flush
+// never splits a batch across two policies.
+type evalBatch struct {
+	batch     []inferReq
+	policy    Policy
+	queueWait *telemetry.Histogram
+}
+
 // NewService wraps policy (nil selects the reference policy for cfg).
 func NewService(cfg Config, policy Policy) *Service {
 	if policy == nil {
 		policy = NewReferencePolicy(cfg)
 	}
 	return &Service{policy: policy, BatchWindow: 5 * time.Millisecond, MaxBatch: 256}
+}
+
+// SetPolicy atomically swaps the served policy. Batches already detached
+// keep the policy they were detached with, so a swap never drops, errors,
+// or splits an in-flight request — this is the primitive behind hot reload
+// in internal/serve.
+func (s *Service) SetPolicy(p Policy) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
 }
 
 // Instrument registers the service's batching telemetry on reg: requests
@@ -86,29 +124,43 @@ func (s *Service) Instrument(reg *telemetry.Registry) {
 
 // Infer evaluates one state, possibly batched with concurrent requests.
 func (s *Service) Infer(state []float64) float64 {
+	return <-s.Submit(state)
+}
+
+// Submit enqueues one state for evaluation and returns the channel its
+// action will be delivered on (buffered: an abandoned result never blocks
+// the evaluator). Callers that must bound their wait — the deadline path in
+// internal/serve — select on the channel and simply walk away on timeout;
+// the request still evaluates with its batch, and the late answer is
+// discarded by the buffer.
+func (s *Service) Submit(state []float64) <-chan float64 {
+	resp := make(chan float64, 1)
 	s.mu.Lock()
 	s.Requests++
 	s.mRequests.Inc()
 	if s.BatchWindow == 0 || s.closed {
-		// Synchronous path.
+		// Synchronous path: evaluate on the caller's goroutine, but off
+		// s.mu so concurrent submitters queue on evalMu, not on the
+		// bookkeeping lock.
 		s.Batches++
 		s.mBatches.Inc()
 		s.mBatchSize.Observe(1)
-		a := s.policy.Action(state)
+		p := s.policy
 		s.mu.Unlock()
-		return a
+		s.evalMu.Lock()
+		a := p.Action(state)
+		s.evalMu.Unlock()
+		resp <- a
+		return resp
 	}
-	req := inferReq{state: state, resp: make(chan float64, 1)}
+	req := inferReq{state: state, resp: resp}
 	if s.mQueueWait != nil {
 		req.enqueued = time.Now()
 	}
 	s.pending = append(s.pending, req)
 	if len(s.pending) >= s.MaxBatch {
 		s.flushLocked()
-		s.mu.Unlock()
-		return <-req.resp
-	}
-	if s.timer == nil {
+	} else if s.timer == nil {
 		s.timer = time.AfterFunc(s.BatchWindow, func() {
 			s.mu.Lock()
 			s.flushLocked()
@@ -116,10 +168,15 @@ func (s *Service) Infer(state []float64) float64 {
 		})
 	}
 	s.mu.Unlock()
-	return <-req.resp
+	return resp
 }
 
-// flushLocked evaluates and answers all pending requests; callers hold mu.
+// flushLocked detaches the pending batch and hands it to the evaluator
+// goroutine; callers hold mu. The channel send happens under mu: if the
+// evaluator is backlogged this blocks new arrivals, which is deliberate
+// backpressure — upstream admission control (internal/serve) turns it into
+// explicit shedding instead of an unbounded pending queue. The evaluator
+// never takes mu, so the send always makes progress.
 func (s *Service) flushLocked() {
 	if s.timer != nil {
 		s.timer.Stop()
@@ -133,23 +190,58 @@ func (s *Service) flushLocked() {
 	s.Batches++
 	s.mBatches.Inc()
 	s.mBatchSize.Observe(float64(len(batch)))
-	now := time.Time{}
-	if s.mQueueWait != nil {
-		now = time.Now()
+	if !s.evalOn {
+		s.evalOn = true
+		s.evalCh = make(chan evalBatch, 4)
+		s.evalWG.Add(1)
+		go s.evaluator()
 	}
-	for _, r := range batch {
-		if !r.enqueued.IsZero() {
-			s.mQueueWait.Observe(now.Sub(r.enqueued).Seconds())
-		}
-		r.resp <- s.policy.Action(r.state)
+	s.evalCh <- evalBatch{batch: batch, policy: s.policy, queueWait: s.mQueueWait}
+}
+
+// evaluator drains detached batches until Close closes the feed channel.
+func (s *Service) evaluator() {
+	defer s.evalWG.Done()
+	for eb := range s.evalCh {
+		s.evaluate(eb)
 	}
 }
 
-// Close flushes outstanding requests and makes further Infer calls
-// synchronous.
+// evaluate answers every request of one batch. No lock except evalMu is
+// held, so arrivals keep flowing into the next batch during the forward
+// passes.
+func (s *Service) evaluate(eb evalBatch) {
+	now := time.Time{}
+	if eb.queueWait != nil {
+		now = time.Now()
+	}
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	for _, r := range eb.batch {
+		if !r.enqueued.IsZero() {
+			eb.queueWait.Observe(now.Sub(r.enqueued).Seconds())
+		}
+		r.resp <- eb.policy.Action(r.state)
+	}
+}
+
+// Close flushes outstanding requests, waits for their answers to be
+// delivered, and makes further Infer calls synchronous. Safe to call more
+// than once.
 func (s *Service) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
 	s.flushLocked()
+	if s.evalOn {
+		// No sender can follow us: Submit takes the synchronous path once
+		// closed is set, and any timer callback racing in will find an
+		// empty pending slice and return before the send.
+		close(s.evalCh)
+	}
+	s.mu.Unlock()
+	s.evalWG.Wait()
 }

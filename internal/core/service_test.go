@@ -81,6 +81,92 @@ func TestServiceClose(t *testing.T) {
 	}
 }
 
+// echoPolicy returns the first state feature, so every request can verify
+// it received its own answer.
+type echoPolicy struct{}
+
+func (echoPolicy) Action(s []float64) float64 { return s[0] }
+
+// TestServiceNoLostOrDuplicatedResponses is the correctness proof for
+// evaluating batches off the service lock: many concurrent submitters with
+// unique payloads must each receive exactly their own response, exactly
+// once, across timer flushes, MaxBatch flushes, and a mid-run policy swap.
+// Run under -race this also proves the bookkeeping/evaluator split is sound.
+func TestServiceNoLostOrDuplicatedResponses(t *testing.T) {
+	svc := NewService(DefaultConfig(), echoPolicy{})
+	svc.BatchWindow = 500 * time.Microsecond
+	svc.MaxBatch = 8
+	defer svc.Close()
+
+	const goroutines = 32
+	const perG = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				want := float64(g*perG + i + 1)
+				if got := svc.Infer([]float64{want}); got != want {
+					errs <- "got someone else's response"
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent policy swaps to the identical law must be invisible.
+	for i := 0; i < 10; i++ {
+		svc.SetPolicy(echoPolicy{})
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	requests, _ := svc.Stats()
+	if requests != goroutines*perG {
+		t.Fatalf("requests %d, want %d", requests, goroutines*perG)
+	}
+}
+
+// TestServiceSetPolicy checks the swap itself and that it applies to later
+// requests.
+func TestServiceSetPolicy(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{0.25})
+	svc.BatchWindow = 0
+	if got := svc.Infer([]float64{1}); got != 0.25 {
+		t.Fatalf("pre-swap Infer = %v", got)
+	}
+	svc.SetPolicy(constPolicy{-0.75})
+	if got := svc.Infer([]float64{1}); got != -0.75 {
+		t.Fatalf("post-swap Infer = %v", got)
+	}
+	svc.SetPolicy(nil) // ignored, not a panic
+	if got := svc.Infer([]float64{1}); got != -0.75 {
+		t.Fatalf("nil swap changed policy: %v", got)
+	}
+}
+
+// TestServiceSubmitAbandoned proves a caller can walk away from a Submit
+// (the deadline path in internal/serve): the batch still evaluates and the
+// service does not block delivering to the abandoned channel.
+func TestServiceSubmitAbandoned(t *testing.T) {
+	svc := NewService(DefaultConfig(), constPolicy{0.5})
+	svc.BatchWindow = time.Millisecond
+	_ = svc.Submit([]float64{1}) // abandoned: never received
+	got := svc.Infer([]float64{2})
+	if got != 0.5 {
+		t.Fatalf("Infer after abandoned Submit = %v", got)
+	}
+	svc.Close() // must not hang on the undelivered buffered response
+	requests, _ := svc.Stats()
+	if requests != 2 {
+		t.Fatalf("requests %d", requests)
+	}
+}
+
 func TestServiceDefaultPolicy(t *testing.T) {
 	cfg := DefaultConfig()
 	svc := NewService(cfg, nil)

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client talks to a serve.Server over a stream transport (tcp or unix)
+// with length-prefixed framing. It is safe for concurrent use: calls are
+// pipelined over one connection and matched to responses by request ID,
+// which is how a sender process multiplexes many flows over one socket.
+type Client struct {
+	conn net.Conn
+
+	// Timeout bounds each Infer call (default core.DefaultInferTimeout;
+	// 0 waits forever). Adjust before issuing calls.
+	Timeout time.Duration
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	next    uint64
+	calls   map[uint64]chan clientResult
+	dead    error // sticky read-loop exit cause
+	started bool
+}
+
+type clientResult struct {
+	res Result
+	err error
+}
+
+// Dial connects to a serve.Server stream endpoint.
+func Dial(network, address string) (*Client, error) {
+	switch network {
+	case "tcp", "tcp4", "tcp6", "unix":
+	default:
+		return nil, fmt.Errorf("serve: dial: unsupported network %q (stream transports only)", network)
+	}
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s %s: %w", network, address, err)
+	}
+	return &Client{conn: conn, Timeout: core.DefaultInferTimeout,
+		calls: make(map[uint64]chan clientResult)}, nil
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 16<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.dead = core.ErrClientClosed
+			for id, ch := range c.calls {
+				ch <- clientResult{err: core.ErrClientClosed}
+				delete(c.calls, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		reqID, res, err := decodeServedResponse(payload)
+		if err != nil {
+			continue // malformed response payload: skip, stream stays framed
+		}
+		c.mu.Lock()
+		if ch, ok := c.calls[reqID]; ok {
+			ch <- clientResult{res: res}
+			delete(c.calls, reqID)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Infer sends one request and waits for its answer, at most c.Timeout. The
+// returned Result says whether the action came from the policy or the
+// fallback law, and which policy version stamped it.
+func (c *Client) Infer(state []float64) (Result, error) {
+	ch := make(chan clientResult, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return Result{}, c.dead
+	}
+	if !c.started {
+		c.started = true
+		go c.readLoop()
+	}
+	c.next++
+	id := c.next
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	frame := appendFrame(make([]byte, 0, 4+core.RequestSize(len(state))), core.EncodeRequest(id, state))
+	c.wmu.Lock()
+	_, err := c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return Result{}, fmt.Errorf("serve: send request: %w", err)
+	}
+
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		select {
+		case r := <-ch: // response raced the timer; the buffer kept it
+			return r.res, r.err
+		default:
+		}
+		return Result{}, fmt.Errorf("serve: request %d after %v: %w", id, c.Timeout, core.ErrInferTimeout)
+	}
+}
+
+// Close tears down the connection; outstanding Infer calls return
+// core.ErrClientClosed.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

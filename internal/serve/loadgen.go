@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LoadOptions configures one load-generation run against a serve.Server
+// stream endpoint.
+type LoadOptions struct {
+	Network string // "tcp" or "unix"
+	Address string
+
+	// Rate is the target aggregate request rate (req/s). Default 1000.
+	Rate float64
+	// Duration of the run. Default 1s.
+	Duration time.Duration
+	// Conns is how many connections to spread load over. Default 4.
+	Conns int
+	// Outstanding is the per-connection pipelining depth. Default 16.
+	Outstanding int
+	// Timeout is the per-request client timeout. Default 2s.
+	Timeout time.Duration
+	// StateDim is the request payload width. Default the serving config's
+	// stacked state dimension.
+	StateDim int
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Rate <= 0 {
+		o.Rate = 1000
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Outstanding <= 0 {
+		o.Outstanding = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.StateDim <= 0 {
+		o.StateDim = core.DefaultConfig().StateDim()
+	}
+	return o
+}
+
+// LoadSummary is the result of a load run, JSON-shaped for the bench
+// trajectory (scripts/bench-serve.sh writes it as BENCH_serve.json).
+type LoadSummary struct {
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Requests  int64 `json:"requests"`
+	Responses int64 `json:"responses"`
+	// Failed counts hard errors (timeouts, transport failures) — a
+	// fallback answer is a success with a flag, not a failure.
+	Failed       int64   `json:"failed"`
+	Fallbacks    int64   `json:"fallbacks"`
+	Shed         int64   `json:"shed"`
+	DeadlineMiss int64   `json:"deadline_miss"`
+	FallbackRate float64 `json:"fallback_rate"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	// MinVersion/MaxVersion are the policy versions observed across
+	// responses (they differ when a hot reload happened mid-run).
+	MinVersion uint32 `json:"min_version"`
+	MaxVersion uint32 `json:"max_version"`
+}
+
+// RunLoad drives the endpoint open-loop: requests are scheduled on a fixed
+// global cadence of Rate per second, spread round-robin over
+// Conns×Outstanding senders. A sender that falls behind schedule (slow
+// responses) fires immediately on catch-up, so the offered load tracks the
+// schedule as long as total outstanding capacity suffices; the achieved
+// rate in the summary is the ground truth. Hard request errors are counted,
+// not fatal; dial failures are.
+func RunLoad(opts LoadOptions) (LoadSummary, error) {
+	opts = opts.withDefaults()
+
+	clients := make([]*Client, opts.Conns)
+	for i := range clients {
+		c, err := Dial(opts.Network, opts.Address)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return LoadSummary{}, err
+		}
+		c.Timeout = opts.Timeout
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	senders := opts.Conns * opts.Outstanding
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	total := int64(opts.Rate * opts.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+
+	var requests, responses, failed, fallbacks, shed, deadlineMiss atomic.Int64
+	var minVer, maxVer atomic.Uint32
+	minVer.Store(math.MaxUint32)
+	latencies := make([][]time.Duration, senders)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < senders; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			client := clients[k%opts.Conns]
+			state := make([]float64, opts.StateDim)
+			state[0] = 1 // a mildly realistic feature vector, not all-zero
+			lats := make([]time.Duration, 0, int(total)/senders+1)
+			for i := int64(k); i < total; i += int64(senders) {
+				due := start.Add(time.Duration(i) * interval)
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				requests.Add(1)
+				t0 := time.Now()
+				res, err := client.Infer(state)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+				responses.Add(1)
+				if res.Fallback() {
+					fallbacks.Add(1)
+				}
+				if res.Shed() {
+					shed.Add(1)
+				}
+				if res.DeadlineMissed() {
+					deadlineMiss.Add(1)
+				}
+				for {
+					v := minVer.Load()
+					if res.Version >= v || minVer.CompareAndSwap(v, res.Version) {
+						break
+					}
+				}
+				for {
+					v := maxVer.Load()
+					if res.Version <= v || maxVer.CompareAndSwap(v, res.Version) {
+						break
+					}
+				}
+			}
+			latencies[k] = lats
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	sum := LoadSummary{
+		TargetRPS:    opts.Rate,
+		DurationSec:  elapsed.Seconds(),
+		Requests:     requests.Load(),
+		Responses:    responses.Load(),
+		Failed:       failed.Load(),
+		Fallbacks:    fallbacks.Load(),
+		Shed:         shed.Load(),
+		DeadlineMiss: deadlineMiss.Load(),
+	}
+	if elapsed > 0 {
+		sum.AchievedRPS = float64(sum.Responses) / elapsed.Seconds()
+	}
+	if sum.Responses > 0 {
+		sum.FallbackRate = float64(sum.Fallbacks) / float64(sum.Responses)
+		sum.MinVersion = minVer.Load()
+		sum.MaxVersion = maxVer.Load()
+	}
+	if len(all) > 0 {
+		sum.P50Ms = quantileMs(all, 0.50)
+		sum.P90Ms = quantileMs(all, 0.90)
+		sum.P99Ms = quantileMs(all, 0.99)
+		sum.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return sum, nil
+}
+
+// quantileMs reads quantile q from sorted latencies, in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// String renders the summary as a one-line human report.
+func (s LoadSummary) String() string {
+	return fmt.Sprintf("%.0f req/s achieved (target %.0f), %d ok / %d failed, fallback %.1f%% (shed %d, deadline %d), p50 %.2fms p90 %.2fms p99 %.2fms, versions %d..%d",
+		s.AchievedRPS, s.TargetRPS, s.Responses, s.Failed,
+		100*s.FallbackRate, s.Shed, s.DeadlineMiss, s.P50Ms, s.P90Ms, s.P99Ms, s.MinVersion, s.MaxVersion)
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRunLoadAgainstHealthyServer(t *testing.T) {
+	_, addr := newTestServer(t, constPolicy{0.5}, Options{Deadline: time.Second}, nil)
+	sum, err := RunLoad(LoadOptions{
+		Network:  "tcp",
+		Address:  addr,
+		Rate:     2000,
+		Duration: 300 * time.Millisecond,
+		Conns:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("failed requests: %d", sum.Failed)
+	}
+	if sum.Responses == 0 || sum.Responses != sum.Requests {
+		t.Fatalf("requests %d responses %d", sum.Requests, sum.Responses)
+	}
+	if sum.AchievedRPS <= 0 || sum.P50Ms <= 0 || sum.P99Ms < sum.P50Ms {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+	if sum.MinVersion != 1 || sum.MaxVersion != 1 {
+		t.Fatalf("versions %d..%d, want 1..1", sum.MinVersion, sum.MaxVersion)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty human summary")
+	}
+	// The summary must stay JSON-encodable: bench-serve.sh persists it.
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLoadCountsFallbacks: against a slow policy with a tight deadline,
+// the loadgen reports fallbacks, not failures — the contract that senders
+// always get a safe answer.
+func TestRunLoadCountsFallbacks(t *testing.T) {
+	policy := &slowPolicy{delay: 100 * time.Millisecond, v: 0.5}
+	_, addr := newTestServer(t, policy,
+		Options{MaxInflight: 4, Deadline: 2 * time.Millisecond}, nil)
+	sum, err := RunLoad(LoadOptions{
+		Network:  "tcp",
+		Address:  addr,
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Conns:    2,
+		Timeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("failed requests: %d (fallbacks should not be failures)", sum.Failed)
+	}
+	if sum.Fallbacks == 0 {
+		t.Fatal("no fallbacks recorded against a slow policy")
+	}
+	if sum.FallbackRate <= 0 || sum.FallbackRate > 1 {
+		t.Fatalf("fallback rate %v", sum.FallbackRate)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Reloader hot-swaps the served policy from a weights file written by
+// core.SavePolicy. Reload validates the file against the serving config
+// before swapping (a half-trained or wrong-dimension actor is rejected and
+// the previous policy keeps serving), then bumps the server's version
+// counter. Because SavePolicy writes atomically (temp + fsync + rename via
+// internal/ckpt), a watcher can never observe a torn file: every snapshot
+// it picks up is one the trainer finished writing.
+//
+// Two triggers share the same Reload path: an explicit call (the serve
+// daemon wires SIGHUP to it) and the mtime/size poller started by Watch.
+type Reloader struct {
+	srv  *Server
+	path string
+	cfg  core.Config
+
+	// Interval is the Watch polling period (default 500ms).
+	Interval time.Duration
+
+	mReloads *telemetry.Counter
+	mErrors  *telemetry.Counter
+
+	mu       sync.Mutex
+	lastMod  time.Time
+	lastSize int64
+	watching bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewReloader builds a reloader for srv serving the policy at path,
+// validated against cfg.
+func NewReloader(srv *Server, path string, cfg core.Config) *Reloader {
+	r := &Reloader{srv: srv, path: path, cfg: cfg, Interval: 500 * time.Millisecond,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	if st, err := os.Stat(path); err == nil {
+		// Baseline: the daemon loaded this snapshot at boot; only a later
+		// write should trigger a reload.
+		r.lastMod, r.lastSize = st.ModTime(), st.Size()
+	}
+	return r
+}
+
+// Instrument registers reload telemetry on reg.
+func (r *Reloader) Instrument(reg *telemetry.Registry) {
+	r.mReloads = reg.Counter("serve_reloads_total", "successful policy hot reloads")
+	r.mErrors = reg.Counter("serve_reload_errors_total", "rejected policy reloads (unreadable or invalid weights)")
+}
+
+// Reload loads and validates the weights file and swaps it in, returning
+// the new policy version. On error the served policy is unchanged.
+func (r *Reloader) Reload() (uint32, error) {
+	p, err := core.LoadPolicy(r.path, r.cfg)
+	if err != nil {
+		r.mErrors.Inc()
+		return r.srv.PolicyVersion(), fmt.Errorf("serve: reload %s: %w", r.path, err)
+	}
+	v := r.srv.SetPolicy(p)
+	r.mReloads.Inc()
+	return v, nil
+}
+
+// Watch starts the file poller: every Interval it stats the weights file
+// and calls Reload when the mtime or size moved. Errors are counted and
+// the previous policy keeps serving; the same changed file is not retried
+// until it changes again (a broken snapshot should not hot-loop the
+// loader). Stop terminates the poller.
+func (r *Reloader) Watch() {
+	r.mu.Lock()
+	if r.watching {
+		r.mu.Unlock()
+		return
+	}
+	r.watching = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+				r.poll()
+			}
+		}
+	}()
+}
+
+func (r *Reloader) poll() {
+	st, err := os.Stat(r.path)
+	if err != nil {
+		return // file temporarily absent (mid-rename): next tick sees it
+	}
+	r.mu.Lock()
+	changed := !st.ModTime().Equal(r.lastMod) || st.Size() != r.lastSize
+	if changed {
+		r.lastMod, r.lastSize = st.ModTime(), st.Size()
+	}
+	r.mu.Unlock()
+	if changed {
+		_, _ = r.Reload() // errors are counted; old policy keeps serving
+	}
+}
+
+// Stop terminates a Watch poller (safe if Watch was never started; Stop
+// before Watch also prevents a later Watch from polling).
+func (r *Reloader) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	watching := r.watching
+	r.mu.Unlock()
+	if watching {
+		<-r.done
+	}
+}

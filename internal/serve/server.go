@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Server. The zero value selects production defaults.
+type Options struct {
+	// MaxInflight is the worker-pool size: the number of requests that may
+	// be inside the inference service at once. Default 64.
+	MaxInflight int
+	// QueueDepth is the admission queue between transports and workers;
+	// a request arriving with the queue full is shed with a fallback
+	// answer. Default 4×MaxInflight.
+	QueueDepth int
+	// Deadline is the per-request budget measured from the moment the
+	// request is read off the wire. A request the policy has not answered
+	// within it receives the fallback action instead. Default 20ms.
+	Deadline time.Duration
+	// WriteTimeout bounds each response write so a stalled client cannot
+	// park a worker. Default 5s.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.MaxInflight
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 20 * time.Millisecond
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// request is one admitted inference request. Exactly one reply route is
+// set: sc for stream transports, pc/from for datagram transports.
+type request struct {
+	reqID   uint64
+	state   []float64
+	arrived time.Time
+	sc      *streamConn
+	pc      net.PacketConn
+	from    net.Addr
+}
+
+// streamConn wraps one accepted stream connection; wmu serializes response
+// frames (workers and the shedding reader write concurrently).
+type streamConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	dead bool // write failed; guarded by wmu
+}
+
+// Server fans network clients into one shared batching core.Service. It
+// never spawns a goroutine per request: transports feed a bounded admission
+// queue drained by a fixed worker pool, and overflow is answered
+// immediately with the deterministic fallback action. See the package
+// comment for the full contract.
+type Server struct {
+	svc      *core.Service
+	fallback *core.ReferencePolicy
+	opts     Options
+
+	version atomic.Uint32
+
+	queue    chan request
+	workerWG sync.WaitGroup
+	ioWG     sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	pconns    []net.PacketConn
+	conns     map[*streamConn]struct{}
+	draining  bool
+	closed    bool
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// Telemetry (nil-safe when uninstrumented).
+	mRequests  *telemetry.Counter
+	mResponses *telemetry.Counter
+	mFallback  *telemetry.Counter
+	mShed      *telemetry.Counter
+	mDeadline  *telemetry.Counter
+	mReadErr   *telemetry.Counter
+	mWriteErr  *telemetry.Counter
+	mConns     *telemetry.Counter
+	gConns     *telemetry.Gauge
+	gVersion   *telemetry.Gauge
+	hLatency   *telemetry.Histogram
+}
+
+// NewServer builds a server around svc. The fallback law is the reference
+// policy for cfg, used through its pure FallbackAction (safe concurrently).
+// The policy version starts at 1; every successful SetPolicy increments it.
+// Workers start immediately; call Listen to accept traffic.
+func NewServer(svc *core.Service, cfg core.Config, opts Options) *Server {
+	s := &Server{
+		svc:      svc,
+		fallback: core.NewReferencePolicy(cfg),
+		opts:     opts.withDefaults(),
+		conns:    make(map[*streamConn]struct{}),
+	}
+	s.version.Store(1)
+	s.queue = make(chan request, s.opts.QueueDepth)
+	for i := 0; i < s.opts.MaxInflight; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Instrument registers the serving metrics on reg. Call before Listen.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.mRequests = reg.Counter("serve_requests_total", "requests read off the wire")
+	s.mResponses = reg.Counter("serve_responses_total", "responses written (incl. fallback)")
+	s.mFallback = reg.Counter("serve_fallback_total", "responses answered by the fallback law")
+	s.mShed = reg.Counter("serve_shed_total", "requests shed at admission (queue full)")
+	s.mDeadline = reg.Counter("serve_deadline_miss_total", "requests that outran their deadline")
+	s.mReadErr = reg.Counter("serve_read_errors_total", "malformed frames/datagrams and failed reads")
+	s.mWriteErr = reg.Counter("serve_write_errors_total", "failed response writes")
+	s.mConns = reg.Counter("serve_conns_total", "stream connections accepted")
+	s.gConns = reg.Gauge("serve_conns_active", "open stream connections")
+	s.gVersion = reg.Gauge("serve_policy_version", "version counter of the served policy")
+	s.gVersion.Set(float64(s.version.Load()))
+	s.hLatency = reg.Histogram("serve_e2e_latency_seconds", "wire-to-wire request latency",
+		telemetry.ExponentialBuckets(1e-5, 4, 12)) // 10 µs .. 42 s
+	reg.GaugeFunc("serve_queue_depth", "requests parked in the admission queue", func() float64 {
+		return float64(len(s.queue))
+	})
+	s.svc.Instrument(reg)
+}
+
+// SetPolicy atomically swaps the served policy and bumps the version
+// counter. In-flight batches keep the policy they were detached with, so no
+// request is dropped or errored by a swap.
+func (s *Server) SetPolicy(p core.Policy) uint32 {
+	s.svc.SetPolicy(p)
+	v := s.version.Add(1)
+	s.gVersion.Set(float64(v))
+	return v
+}
+
+// PolicyVersion returns the current policy version counter.
+func (s *Server) PolicyVersion() uint32 { return s.version.Load() }
+
+// Listen opens one serving endpoint and starts its I/O loop. Stream
+// networks (tcp, tcp4, tcp6, unix) use length-prefixed framing; datagram
+// networks (udp, udp4, udp6, unixgram) reuse the bare core codec, so
+// existing core.ServiceClient senders keep working against this server.
+// Returns the bound address (useful with port/path 0).
+func (s *Server) Listen(network, address string) (net.Addr, error) {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("serve: server is shut down")
+	}
+	s.mu.Unlock()
+
+	switch network {
+	case "tcp", "tcp4", "tcp6", "unix":
+		ln, err := net.Listen(network, address)
+		if err != nil {
+			return nil, fmt.Errorf("serve: listen %s %s: %w", network, address, err)
+		}
+		s.mu.Lock()
+		if s.draining || s.closed { // lost a race with Shutdown
+			s.mu.Unlock()
+			ln.Close()
+			return nil, errors.New("serve: server is shut down")
+		}
+		s.listeners = append(s.listeners, ln)
+		s.mu.Unlock()
+		s.ioWG.Add(1)
+		go s.acceptLoop(ln)
+		return ln.Addr(), nil
+	case "udp", "udp4", "udp6", "unixgram":
+		pc, err := net.ListenPacket(network, address)
+		if err != nil {
+			return nil, fmt.Errorf("serve: listen %s %s: %w", network, address, err)
+		}
+		s.mu.Lock()
+		if s.draining || s.closed { // lost a race with Shutdown
+			s.mu.Unlock()
+			pc.Close()
+			return nil, errors.New("serve: server is shut down")
+		}
+		s.pconns = append(s.pconns, pc)
+		s.mu.Unlock()
+		s.ioWG.Add(1)
+		go s.packetLoop(pc)
+		return pc.LocalAddr(), nil
+	default:
+		return nil, fmt.Errorf("serve: unsupported network %q", network)
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.ioWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient accept error (e.g. EMFILE): keep serving
+		}
+		sc := &streamConn{conn: conn}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.mConns.Inc()
+		s.gConns.Add(1)
+		s.ioWG.Add(1)
+		go s.connLoop(sc)
+	}
+}
+
+// connLoop reads framed requests off one stream connection until the peer
+// closes it (or a fatal read error). Malformed payloads and oversized
+// frames are counted and skipped; framing keeps the stream aligned.
+func (s *Server) connLoop(sc *streamConn) {
+	defer s.ioWG.Done()
+	defer func() {
+		s.mu.Lock()
+		if s.draining {
+			// Drain in progress: stop reading but leave the connection open
+			// and registered — workers may still owe it replies. doShutdown
+			// closes it after the worker pool empties.
+			s.mu.Unlock()
+			return
+		}
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		sc.conn.Close()
+		s.gConns.Add(-1)
+	}()
+	br := bufio.NewReaderSize(sc.conn, 32<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			var tooBig errFrameTooLarge
+			if errors.As(err, &tooBig) {
+				s.mReadErr.Inc()
+				if discardFrame(br, uint32(tooBig)) == nil {
+					continue
+				}
+				return
+			}
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if !stopping && !errors.Is(err, io.EOF) {
+				s.mReadErr.Inc()
+			}
+			return
+		}
+		reqID, state, err := core.DecodeRequest(payload)
+		if err != nil {
+			s.mReadErr.Inc()
+			continue
+		}
+		s.mRequests.Inc()
+		s.admit(request{reqID: reqID, state: state, arrived: time.Now(), sc: sc})
+	}
+}
+
+// packetLoop reads bare-codec datagrams. During drain it stops reading (the
+// socket stays open so queued replies can still go out).
+func (s *Server) packetLoop(pc net.PacketConn) {
+	defer s.ioWG.Done()
+	buf := make([]byte, core.RequestSize(core.MaxStateDim))
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			stop := s.draining || s.closed
+			s.mu.Unlock()
+			if stop || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		reqID, state, err := core.DecodeRequest(buf[:n])
+		if err != nil {
+			s.mReadErr.Inc()
+			continue
+		}
+		s.mRequests.Inc()
+		s.admit(request{reqID: reqID, state: state, arrived: time.Now(), pc: pc, from: from})
+	}
+}
+
+// admit enqueues a request for the worker pool, or sheds it with an
+// immediate fallback answer when the queue is full. Shedding runs on the
+// transport goroutine: the fallback law is pure, so this is cheap and needs
+// no coordination.
+func (s *Server) admit(r request) {
+	select {
+	case s.queue <- r:
+	default:
+		s.mShed.Inc()
+		s.mFallback.Inc()
+		s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagShed)
+	}
+}
+
+// worker drains the admission queue: submit to the batching service, wait
+// at most the remaining deadline, and fall back deterministically if the
+// policy is late. The late real answer lands in the submission's buffered
+// channel and is garbage-collected — never delivered twice.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for r := range s.queue {
+		rem := s.opts.Deadline - time.Since(r.arrived)
+		if rem <= 0 {
+			s.mDeadline.Inc()
+			s.mFallback.Inc()
+			s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagDeadline)
+			continue
+		}
+		ch := s.svc.Submit(r.state)
+		timer.Reset(rem)
+		select {
+		case a := <-ch:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			s.reply(r, a, 0)
+		case <-timer.C:
+			s.mDeadline.Inc()
+			s.mFallback.Inc()
+			s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagDeadline)
+		}
+	}
+}
+
+// reply writes one response over the request's transport and records
+// latency. Stream writes are serialized per connection and bounded by
+// WriteTimeout; a failed stream write marks the connection dead (the reader
+// will notice the close) rather than blocking further workers.
+func (s *Server) reply(r request, action float64, flags uint32) {
+	payload := encodeServedResponse(r.reqID, action, flags, s.version.Load())
+	if r.sc != nil {
+		frame := appendFrame(make([]byte, 0, 4+len(payload)), payload)
+		r.sc.wmu.Lock()
+		if !r.sc.dead {
+			r.sc.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			if _, err := r.sc.conn.Write(frame); err != nil {
+				r.sc.dead = true
+				s.mWriteErr.Inc()
+				r.sc.conn.Close()
+			}
+		}
+		r.sc.wmu.Unlock()
+	} else {
+		if _, err := r.pc.WriteTo(payload, r.from); err != nil {
+			s.mWriteErr.Inc()
+		}
+	}
+	s.mResponses.Inc()
+	s.hLatency.Observe(time.Since(r.arrived).Seconds())
+}
+
+// Shutdown drains the server: stop accepting new connections and datagrams,
+// let requests in flight (including those still arriving on open stream
+// connections) finish, then release the workers and flush the service. It
+// returns nil on a clean drain. If ctx expires first, remaining connections
+// are force-closed and ctx's error is returned. Shutdown is idempotent;
+// concurrent calls share the first caller's outcome.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.doShutdown(ctx) })
+	return s.shutdownErr
+}
+
+func (s *Server) doShutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	listeners := append([]net.Listener(nil), s.listeners...)
+	pconns := append([]net.PacketConn(nil), s.pconns...)
+	conns := make([]*streamConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	// Poke the transport readers out of their blocking reads; they see
+	// draining and stop reading while the sockets stay open, so workers can
+	// still flush replies for everything already admitted.
+	for _, pc := range pconns {
+		_ = pc.SetReadDeadline(time.Now())
+	}
+	for _, sc := range conns {
+		_ = sc.conn.SetReadDeadline(time.Now())
+	}
+
+	ioDone := make(chan struct{})
+	go func() {
+		s.ioWG.Wait()
+		close(ioDone)
+	}()
+	var forced error
+	select {
+	case <-ioDone:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.conn.Close()
+		}
+		s.mu.Unlock()
+		<-ioDone
+	}
+
+	// All transport goroutines have exited: nothing can enqueue anymore.
+	close(s.queue)
+	s.workerWG.Wait()
+	s.svc.Close()
+
+	s.mu.Lock()
+	s.closed = true
+	for sc := range s.conns {
+		sc.conn.Close()
+		s.gConns.Add(-1)
+	}
+	s.conns = make(map[*streamConn]struct{})
+	for _, pc := range pconns {
+		pc.Close()
+	}
+	s.mu.Unlock()
+	return forced
+}
+
+// Close shuts down immediately: open connections are cut rather than
+// drained. Requests already admitted are still answered best-effort.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}

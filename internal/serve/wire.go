@@ -1,0 +1,142 @@
+// Package serve is the production serving layer between a trained Astraea
+// policy and sender traffic: a network-facing inference server that fans
+// many client connections into the shared batching core.Service, with
+// per-request deadlines, admission control with explicit shedding, a
+// deterministic in-band fallback action, hot policy reload, and graceful
+// drain. It is the deployment rendering of the shared inference service of
+// §4 — the architectural property Fig. 16b measures — hardened the way
+// deployment-oriented RL-CC systems require: a sender always receives a
+// safe answer within a bounded time, whatever the model is doing.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Stream transports (TCP, unix) carry the core wire codec inside
+// length-prefixed frames:
+//
+//	frame:    [len uint32][payload]
+//	request:  payload = core request codec  (reqID, state)
+//	response: payload = core response codec (reqID, action)
+//	          + trailer [flags uint32][version uint32]
+//
+// The trailer is how the fallback answer travels in-band: a sender that
+// understands it learns whether the action came from the live policy or the
+// fallback law (and which policy version answered); a sender that only
+// speaks the base codec still gets a usable action, because
+// core.DecodeResponse ignores trailing bytes. Datagram transports reuse the
+// same payloads without the frame prefix.
+
+// Response flag bits.
+const (
+	// FlagFallback marks an action computed by the deterministic fallback
+	// law rather than the served policy.
+	FlagFallback uint32 = 1 << iota
+	// FlagShed marks a request rejected at admission (queue full).
+	FlagShed
+	// FlagDeadline marks a request whose deadline expired before the
+	// policy answered.
+	FlagDeadline
+)
+
+// Result is one served answer as seen by a serve.Client.
+type Result struct {
+	Action  float64
+	Flags   uint32
+	Version uint32 // policy version that stamped the response
+}
+
+// Fallback reports whether the action came from the fallback law.
+func (r Result) Fallback() bool { return r.Flags&FlagFallback != 0 }
+
+// Shed reports whether the request was rejected at admission.
+func (r Result) Shed() bool { return r.Flags&FlagShed != 0 }
+
+// DeadlineMissed reports whether the request ran out of budget before the
+// policy answered.
+func (r Result) DeadlineMissed() bool { return r.Flags&FlagDeadline != 0 }
+
+// servedResponseSize is the response payload size: base codec + trailer.
+const servedResponseSize = core.ResponseSize + 8
+
+// maxFramePayload bounds what either side will read in one frame: the
+// largest request the core codec admits (responses are far smaller).
+const maxFramePayload = 12 + 8*core.MaxStateDim
+
+// encodeServedResponse builds a response payload with the serve trailer.
+func encodeServedResponse(reqID uint64, action float64, flags, version uint32) []byte {
+	buf := make([]byte, servedResponseSize)
+	copy(buf, core.EncodeResponse(reqID, action))
+	binary.LittleEndian.PutUint32(buf[core.ResponseSize:], flags)
+	binary.LittleEndian.PutUint32(buf[core.ResponseSize+4:], version)
+	return buf
+}
+
+// decodeServedResponse parses a response payload. The trailer is optional
+// (a plain core responder yields zero flags and version 0).
+func decodeServedResponse(buf []byte) (reqID uint64, res Result, err error) {
+	reqID, action, err := core.DecodeResponse(buf)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	res = Result{Action: action}
+	if len(buf) >= servedResponseSize {
+		res.Flags = binary.LittleEndian.Uint32(buf[core.ResponseSize:])
+		res.Version = binary.LittleEndian.Uint32(buf[core.ResponseSize+4:])
+	}
+	return reqID, res, nil
+}
+
+// appendFrame appends the length prefix and payload to dst, returning the
+// extended slice: one buffer, one Write, so concurrent writers interleave
+// whole frames, never bytes.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// writeFrame writes one framed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	_, err := w.Write(appendFrame(make([]byte, 0, 4+len(payload)), payload))
+	return err
+}
+
+// readFrame reads one frame payload. A frame longer than maxFramePayload is
+// an error (the stream is still positioned at a frame boundary afterwards
+// only if the caller discards the oversized body; see discardFrame).
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFramePayload {
+		return nil, errFrameTooLarge(n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+type errFrameTooLarge uint32
+
+func (e errFrameTooLarge) Error() string {
+	return fmt.Sprintf("serve: frame of %d bytes exceeds limit %d", uint32(e), maxFramePayload)
+}
+
+// discardFrame skips n payload bytes so the stream stays frame-aligned
+// after an oversized frame was announced.
+func discardFrame(r *bufio.Reader, n uint32) error {
+	_, err := io.CopyN(io.Discard, r, int64(n))
+	return err
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Serving benchmark: measure the inference server end to end and persist the
+# result as BENCH_serve.json in the repo root — the tracked trajectory for
+# the paper's Fig. 16b claim (one shared service absorbing many senders).
+#
+# The JSON is the loadgen summary verbatim: target/achieved RPS, latency
+# percentiles (p50/p90/p99/max ms), and the fallback/shed/deadline-miss
+# counts and rate. A healthy run on a quiet machine shows fallback_rate 0
+# and p99 a few ms (one batching window plus policy evaluation).
+#
+# Tunables (env): RATE (req/s, default 5000), DURATION (default 10s),
+# CONNS (default 8), DEADLINE (default 20ms), OUT (default BENCH_serve.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATE=${RATE:-5000}
+DURATION=${DURATION:-10s}
+CONNS=${CONNS:-8}
+DEADLINE=${DEADLINE:-20ms}
+OUT=${OUT:-BENCH_serve.json}
+
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/astraea-serve" ./cmd/astraea-serve
+go build -o "$WORK/astraea-loadgen" ./cmd/astraea-loadgen
+
+"$WORK/astraea-serve" -listen tcp:127.0.0.1:0 -policy reference \
+    -deadline "$DEADLINE" -addr-file "$WORK/addr" >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
+[ -s "$WORK/addr" ] || { echo "bench-serve: server never bound"; cat "$WORK/serve.log"; exit 1; }
+
+"$WORK/astraea-loadgen" -addr "$(head -1 "$WORK/addr")" \
+    -rate "$RATE" -duration "$DURATION" -conns "$CONNS" -out "$OUT"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "bench-serve: drain was not clean"; cat "$WORK/serve.log"; exit 1; }
+SERVE_PID=""
+echo "bench-serve: wrote $OUT"

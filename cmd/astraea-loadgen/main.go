@@ -1,16 +1,29 @@
-// Command astraea-loadgen drives an astraea-serve endpoint with open-loop
-// load and reports achieved throughput and latency percentiles. The JSON
-// summary (stdout or -out) feeds the serving benchmark trajectory
-// (scripts/bench-serve.sh → BENCH_serve.json); the human-readable line goes
-// to stderr.
+// Command astraea-loadgen drives an astraea-serve endpoint and reports
+// achieved throughput and latency percentiles. Three modes:
+//
+//   - Open-loop (default): a fixed -rate schedule; latencies are measured
+//     from each request's intended send time, so coordinated omission
+//     cannot hide server stalls, and the summary reports the generator's
+//     own worst scheduling lag.
+//   - Closed-loop (-rate 0): every sender keeps one request in flight
+//     back-to-back — the saturation throughput at -conns × -outstanding.
+//   - Knee sweep (-knee): closed-loop steps at doubling -outstanding until
+//     throughput stops improving; reports the knee (lowest concurrency
+//     within 90% of max throughput) plus the full curve.
+//
+// The JSON summary (stdout or -out) feeds the serving benchmark trajectory
+// (scripts/bench-serve.sh → BENCH_serve.json); the human-readable lines go
+// to stderr. -commit and -shards stamp provenance into the knee report.
 //
 // Exit status: 0 when every request was answered (fallback answers count as
 // answered — that is the serving contract), 1 when any request failed hard
-// (timeout or transport error), 2 on usage errors.
+// (timeout or transport error) or a knee sweep measured zero throughput,
+// 2 on usage errors.
 //
-// Example:
+// Examples:
 //
 //	astraea-loadgen -addr tcp:127.0.0.1:9000 -rate 5000 -duration 10s
+//	astraea-loadgen -addr tcp:127.0.0.1:9000 -knee -conns 8 -flows
 package main
 
 import (
@@ -26,11 +39,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", "tcp:127.0.0.1:9000", "endpoint to drive, network:address (tcp or unix stream)")
-	rate := flag.Float64("rate", 1000, "target aggregate request rate (req/s)")
-	duration := flag.Duration("duration", time.Second, "run length")
+	rate := flag.Float64("rate", 1000, "target aggregate request rate (req/s); 0 = closed-loop saturation")
+	duration := flag.Duration("duration", time.Second, "run length (per step in -knee mode)")
 	conns := flag.Int("conns", 4, "connections to spread load over")
-	outstanding := flag.Int("outstanding", 16, "pipelined requests per connection")
+	outstanding := flag.Int("outstanding", 16, "pipelined requests per connection (max tried in -knee mode)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout (a hard failure when exceeded)")
+	flows := flag.Bool("flows", false, "tag each sender with a distinct flow ID (spreads load across server shards)")
+	knee := flag.Bool("knee", false, "sweep closed-loop concurrency to find the max-throughput knee")
+	commit := flag.String("commit", "", "source commit hash to stamp into the report's provenance")
+	shards := flag.Int("shards", 0, "server shard count to stamp into the report's provenance")
 	out := flag.String("out", "-", `JSON summary destination ("-" = stdout)`)
 	flag.Parse()
 
@@ -40,21 +57,54 @@ func main() {
 		os.Exit(2)
 	}
 
-	sum, err := serve.RunLoad(serve.LoadOptions{
-		Network:     network,
-		Address:     address,
-		Rate:        *rate,
-		Duration:    *duration,
-		Conns:       *conns,
-		Outstanding: *outstanding,
-		Timeout:     *timeout,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
-		os.Exit(2)
+	var doc any
+	exit := 0
+	if *knee {
+		rep, err := serve.RunKnee(serve.KneeOptions{
+			Network: network, Address: address,
+			Conns:          *conns,
+			StepDuration:   *duration,
+			MaxOutstanding: *outstanding,
+			Timeout:        *timeout,
+			TagFlows:       *flows,
+			Log:            func(line string) { fmt.Fprintln(os.Stderr, "astraea-loadgen:", line) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
+			os.Exit(2)
+		}
+		rep.Env.Commit = *commit
+		rep.Env.Shards = *shards
+		fmt.Fprintf(os.Stderr, "astraea-loadgen: knee %.0f req/s at %d conns × %d outstanding (p50 %.2fms p99 %.2fms, max %.0f req/s)\n",
+			rep.AchievedRPS, rep.Conns, rep.KneeOutstanding, rep.P50Ms, rep.P99Ms, rep.MaxRPS)
+		if rep.AchievedRPS <= 0 {
+			fmt.Fprintln(os.Stderr, "astraea-loadgen: knee sweep measured zero throughput")
+			exit = 1
+		}
+		doc = rep
+	} else {
+		sum, err := serve.RunLoad(serve.LoadOptions{
+			Network:     network,
+			Address:     address,
+			Rate:        *rate,
+			ClosedLoop:  *rate <= 0,
+			Duration:    *duration,
+			Conns:       *conns,
+			Outstanding: *outstanding,
+			Timeout:     *timeout,
+			TagFlows:    *flows,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "astraea-loadgen:", sum.String())
+		if sum.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "astraea-loadgen: %d requests failed hard\n", sum.Failed)
+			exit = 1
+		}
+		doc = sum
 	}
-
-	fmt.Fprintln(os.Stderr, "astraea-loadgen:", sum.String())
 
 	w := os.Stdout
 	if *out != "-" {
@@ -68,13 +118,11 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(sum); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "astraea-loadgen:", err)
 		os.Exit(2)
 	}
-
-	if sum.Failed > 0 {
-		fmt.Fprintf(os.Stderr, "astraea-loadgen: %d requests failed hard\n", sum.Failed)
-		os.Exit(1)
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }

@@ -40,8 +40,9 @@ func main() {
 		"poll the -policy file at this interval and hot-reload on change (0 disables; SIGHUP always reloads)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	pprofAddr := flag.String("pprof", "", "alias for -telemetry (the endpoint includes pprof)")
-	maxInflight := flag.Int("max-inflight", 64, "worker pool size: requests inside the service at once")
-	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (default 4×max-inflight; overflow is shed)")
+	shards := flag.Int("shards", 0, "policy shards, each with its own evaluator and cloned policy (default GOMAXPROCS, capped at 16)")
+	maxInflight := flag.Int("max-inflight", 64, "compatibility knob: feeds the per-shard queue-depth default")
+	queueDepth := flag.Int("queue-depth", 0, "per-shard admission queue depth (default 4×max-inflight; overflow is shed)")
 	deadline := flag.Duration("deadline", 20*time.Millisecond, "per-request budget before the fallback action is returned")
 	window := flag.Duration("window", 5*time.Millisecond, "batching window of the shared service")
 	maxBatch := flag.Int("max-batch", 256, "batch flush threshold")
@@ -50,14 +51,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*listen, *policyArg, *reload, *telemetryAddr, *pprofAddr,
-		*maxInflight, *queueDepth, *deadline, *window, *maxBatch, *addrFile, *drainTimeout); err != nil {
+		*shards, *maxInflight, *queueDepth, *deadline, *window, *maxBatch, *addrFile, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "astraea-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAddr string,
-	maxInflight, queueDepth int, deadline, window time.Duration, maxBatch int,
+	shards, maxInflight, queueDepth int, deadline, window time.Duration, maxBatch int,
 	addrFile string, drainTimeout time.Duration) error {
 
 	cfg := core.DefaultConfig()
@@ -78,6 +79,7 @@ func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAdd
 	svc.BatchWindow = window
 	svc.MaxBatch = maxBatch
 	srv := serve.NewServer(svc, cfg, serve.Options{
+		Shards:      shards,
 		MaxInflight: maxInflight,
 		QueueDepth:  queueDepth,
 		Deadline:    deadline,
@@ -122,8 +124,8 @@ func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAdd
 		if err != nil {
 			return err
 		}
-		fmt.Printf("astraea-serve: listening on %s:%s (deadline %v, max-inflight %d)\n",
-			network, addr, deadline, maxInflight)
+		fmt.Printf("astraea-serve: listening on %s:%s (deadline %v, %d shards)\n",
+			network, addr, deadline, srv.Sharded().NumShards())
 		boundLines = append(boundLines, network+":"+addr.String())
 	}
 	if len(boundLines) == 0 {
@@ -156,9 +158,9 @@ func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAdd
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	err := srv.Shutdown(ctx)
-	requests, batches := svc.Stats()
-	fmt.Printf("astraea-serve: drained after %d requests in %d batches (policy version %d)\n",
-		requests, batches, srv.PolicyVersion())
+	requests, batches := srv.Stats()
+	fmt.Printf("astraea-serve: drained after %d requests in %d batches across %d shards (policy version %d)\n",
+		requests, batches, srv.Sharded().NumShards(), srv.PolicyVersion())
 	if err != nil {
 		return fmt.Errorf("drain forced after %v: %w", drainTimeout, err)
 	}

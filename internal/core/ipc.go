@@ -36,17 +36,31 @@ func RequestSize(dim int) int { return 12 + 8*dim }
 
 // EncodeRequest serializes an inference request.
 func EncodeRequest(reqID uint64, state []float64) []byte {
-	buf := make([]byte, RequestSize(len(state)))
-	binary.LittleEndian.PutUint64(buf[0:8], reqID)
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(state)))
-	for i, v := range state {
-		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	return AppendRequest(make([]byte, 0, RequestSize(len(state))), reqID, state)
+}
+
+// AppendRequest appends the encoded request to dst and returns the extended
+// slice — the allocation-free form of EncodeRequest for reusable buffers.
+func AppendRequest(dst []byte, reqID uint64, state []float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	for _, v := range state {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return buf
+	return dst
 }
 
 // DecodeRequest parses a request datagram or frame payload.
 func DecodeRequest(buf []byte) (reqID uint64, state []float64, err error) {
+	return DecodeRequestInto(buf, nil)
+}
+
+// DecodeRequestInto is DecodeRequest with caller-owned state storage: the
+// decoded state appends into dst (typically a recycled slice trimmed to
+// length 0), so a steady-state reader allocates nothing once the buffer has
+// grown to the request width. Bytes past the encoded request are ignored,
+// which is how the serve-layer flow-ID trailer stays transparent here.
+func DecodeRequestInto(buf []byte, dst []float64) (reqID uint64, state []float64, err error) {
 	if len(buf) < 12 {
 		return 0, nil, fmt.Errorf("core: request too short (%d bytes)", len(buf))
 	}
@@ -58,9 +72,9 @@ func DecodeRequest(buf []byte) (reqID uint64, state []float64, err error) {
 	if len(buf) < 12+int(n)*8 {
 		return 0, nil, fmt.Errorf("core: truncated request: %d bytes for dim %d", len(buf), n)
 	}
-	state = make([]float64, n)
-	for i := range state {
-		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[12+8*i:]))
+	state = dst
+	for i := 0; i < int(n); i++ {
+		state = append(state, math.Float64frombits(binary.LittleEndian.Uint64(buf[12+8*i:])))
 	}
 	return reqID, state, nil
 }
@@ -70,10 +84,14 @@ const ResponseSize = 16
 
 // EncodeResponse serializes an inference response.
 func EncodeResponse(reqID uint64, action float64) []byte {
-	buf := make([]byte, ResponseSize)
-	binary.LittleEndian.PutUint64(buf[0:8], reqID)
-	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(action))
-	return buf
+	return AppendResponse(make([]byte, 0, ResponseSize), reqID, action)
+}
+
+// AppendResponse appends the encoded response to dst and returns the
+// extended slice.
+func AppendResponse(dst []byte, reqID uint64, action float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(action))
 }
 
 // DecodeResponse parses a response. Bytes past the first 16 are ignored, so

@@ -16,9 +16,33 @@ type Policy interface {
 	Action(state []float64) float64
 }
 
+// PolicyCloner is implemented by policies that can produce an independent
+// instance of themselves. Policies keep internal scratch or detector state
+// and serialize Action calls behind a service's evalMu; a sharded server
+// runs N evaluators concurrently, so each shard needs its own instance.
+type PolicyCloner interface {
+	ClonePolicy() Policy
+}
+
+// ClonePolicy returns an independent instance of p when it implements
+// PolicyCloner, and p itself otherwise. A policy without ClonePolicy that
+// is shared across shards must be safe for concurrent Action calls.
+func ClonePolicy(p Policy) Policy {
+	if c, ok := p.(PolicyCloner); ok {
+		return c.ClonePolicy()
+	}
+	return p
+}
+
 // MLPPolicy wraps a trained actor network.
 type MLPPolicy struct {
 	Net *nn.MLP
+}
+
+// ClonePolicy implements PolicyCloner: the weights are deep-copied and the
+// clone gets its own forward-pass scratch (nn.MLP is not goroutine-safe).
+func (p *MLPPolicy) ClonePolicy() Policy {
+	return &MLPPolicy{Net: p.Net.Clone()}
 }
 
 // Action implements Policy.
@@ -128,6 +152,17 @@ func NewReferencePolicy(cfg Config) *ReferencePolicy {
 		ModeWindow: 80, Tolerance: 6,
 		curDelta: 0.08, minLatRatio: math.Inf(1),
 	}
+}
+
+// ClonePolicy implements PolicyCloner: tuning parameters are copied and the
+// competitive-mode detector starts fresh (each shard observes its own
+// request stream, so detector state is per-shard by construction).
+func (rp *ReferencePolicy) ClonePolicy() Policy {
+	c := *rp
+	c.curDelta = rp.Delta
+	c.seen = 0
+	c.minLatRatio = math.Inf(1)
+	return &c
 }
 
 // SetDelta changes the default aggressiveness (and resets the current

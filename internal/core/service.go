@@ -34,13 +34,27 @@ type Service struct {
 	BatchWindow time.Duration
 	MaxBatch    int
 
-	mu      sync.Mutex
-	policy  Policy
-	pending []inferReq
-	timer   *time.Timer
-	closed  bool
-	evalCh  chan evalBatch // lazily started; sends happen under mu
-	evalOn  bool
+	// AfterBatch, when non-nil, runs once after every evaluated batch
+	// (including size-1 synchronous evaluations), on the goroutine that
+	// evaluated it and outside every service lock. internal/serve uses it
+	// to flush coalesced response writes. Set before the first Submit.
+	AfterBatch func()
+
+	mu         sync.Mutex
+	policy     Policy
+	pending    []inferReq
+	timer      *time.Timer
+	timerArmed bool
+	closed     bool
+	evalCh     chan evalBatch // lazily started; sends happen under mu
+	evalOn     bool
+
+	// freeMu guards the recycled batch slices. It is a separate lock
+	// because the evaluator returns slices here and must never contend for
+	// mu (flushLocked sends on evalCh while holding mu; an evaluator
+	// blocked on mu would deadlock that send).
+	freeMu      sync.Mutex
+	freeBatches [][]inferReq
 
 	// evalMu serializes all policy.Action calls (stateful policies).
 	evalMu sync.Mutex
@@ -68,12 +82,33 @@ func (s *Service) Stats() (requests, batches int64) {
 	return s.Requests, s.Batches
 }
 
+// Completion receives the action for one submitted request. It is the
+// allocation-free alternative to Submit's response channel: the serving
+// layer passes a pooled per-request object whose Complete method writes the
+// framed response, so steady-state request handling needs no per-request
+// channel. Complete runs on the evaluator goroutine (or the submitter's, on
+// the synchronous path) and must not block for long — a stalled Complete
+// stalls the whole shard.
+type Completion interface {
+	Complete(action float64)
+}
+
 type inferReq struct {
 	state []float64
 	resp  chan float64
+	comp  Completion // non-nil selects the callback delivery path
 	// enqueued records wall-clock arrival for the queue-wait histogram;
 	// zero when the service is uninstrumented.
 	enqueued time.Time
+}
+
+// deliver hands the action to whichever delivery route the request carries.
+func (r *inferReq) deliver(action float64) {
+	if r.comp != nil {
+		r.comp.Complete(action)
+	} else {
+		r.resp <- action
+	}
 }
 
 // evalBatch is one detached batch handed to the evaluator goroutine. The
@@ -83,6 +118,7 @@ type evalBatch struct {
 	batch     []inferReq
 	policy    Policy
 	queueWait *telemetry.Histogram
+	after     func()
 }
 
 // NewService wraps policy (nil selects the reference policy for cfg).
@@ -106,6 +142,15 @@ func (s *Service) SetPolicy(p Policy) {
 	s.mu.Unlock()
 }
 
+// Policy returns the currently served policy (the one the next detached
+// batch will capture). The sharded server uses it to clone a template
+// service's policy into sibling shards.
+func (s *Service) Policy() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
 // Instrument registers the service's batching telemetry on reg: requests
 // served, batches flushed, the batch-size distribution (the quantity behind
 // Fig. 16b's sub-linear scaling), and how long requests waited for their
@@ -122,6 +167,19 @@ func (s *Service) Instrument(reg *telemetry.Registry) {
 		telemetry.ExponentialBuckets(1e-5, 4, 10)) // 10 µs .. 2.6 s
 }
 
+// ShareInstruments attaches src's already-registered instruments to s, so
+// several shard services aggregate into one metric set (the telemetry
+// registry panics on duplicate names, so only one shard can register; the
+// counters are atomic and safe to share).
+func (s *Service) ShareInstruments(src *Service) {
+	src.mu.Lock()
+	mReq, mBat, mSize, mWait := src.mRequests, src.mBatches, src.mBatchSize, src.mQueueWait
+	src.mu.Unlock()
+	s.mu.Lock()
+	s.mRequests, s.mBatches, s.mBatchSize, s.mQueueWait = mReq, mBat, mSize, mWait
+	s.mu.Unlock()
+}
+
 // Infer evaluates one state, possibly batched with concurrent requests.
 func (s *Service) Infer(state []float64) float64 {
 	return <-s.Submit(state)
@@ -135,6 +193,20 @@ func (s *Service) Infer(state []float64) float64 {
 // discarded by the buffer.
 func (s *Service) Submit(state []float64) <-chan float64 {
 	resp := make(chan float64, 1)
+	s.submit(inferReq{state: state, resp: resp})
+	return resp
+}
+
+// SubmitTo enqueues one state for evaluation with callback delivery: comp's
+// Complete method receives the action instead of a channel. This is the
+// zero-allocation path — the caller owns comp (typically a pooled request
+// object) and state must stay valid until Complete runs. Every submitted
+// request is completed exactly once, including across Close.
+func (s *Service) SubmitTo(state []float64, comp Completion) {
+	s.submit(inferReq{state: state, comp: comp})
+}
+
+func (s *Service) submit(req inferReq) {
 	s.mu.Lock()
 	s.Requests++
 	s.mRequests.Inc()
@@ -146,29 +218,64 @@ func (s *Service) Submit(state []float64) <-chan float64 {
 		s.mBatches.Inc()
 		s.mBatchSize.Observe(1)
 		p := s.policy
+		after := s.AfterBatch
 		s.mu.Unlock()
 		s.evalMu.Lock()
-		a := p.Action(state)
+		a := p.Action(req.state)
 		s.evalMu.Unlock()
-		resp <- a
-		return resp
+		req.deliver(a)
+		if after != nil {
+			after()
+		}
+		return
 	}
-	req := inferReq{state: state, resp: resp}
 	if s.mQueueWait != nil {
 		req.enqueued = time.Now()
+	}
+	if s.pending == nil {
+		s.pending = s.getBatchBuf()
 	}
 	s.pending = append(s.pending, req)
 	if len(s.pending) >= s.MaxBatch {
 		s.flushLocked()
-	} else if s.timer == nil {
-		s.timer = time.AfterFunc(s.BatchWindow, func() {
-			s.mu.Lock()
-			s.flushLocked()
-			s.mu.Unlock()
-		})
+	} else if !s.timerArmed {
+		s.timerArmed = true
+		if s.timer == nil {
+			s.timer = time.AfterFunc(s.BatchWindow, func() {
+				s.mu.Lock()
+				s.timerArmed = false
+				s.flushLocked()
+				s.mu.Unlock()
+			})
+		} else {
+			s.timer.Reset(s.BatchWindow)
+		}
 	}
 	s.mu.Unlock()
-	return resp
+}
+
+// getBatchBuf returns a recycled batch slice (or a fresh one), so steady-
+// state batching does not allocate per batch.
+func (s *Service) getBatchBuf() []inferReq {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if n := len(s.freeBatches); n > 0 {
+		b := s.freeBatches[n-1]
+		s.freeBatches = s.freeBatches[:n-1]
+		return b
+	}
+	return make([]inferReq, 0, 64)
+}
+
+// putBatchBuf clears and recycles a drained batch slice. Entries are zeroed
+// so recycled slices never pin request states or completions for the GC.
+func (s *Service) putBatchBuf(b []inferReq) {
+	clear(b)
+	s.freeMu.Lock()
+	if len(s.freeBatches) < 8 {
+		s.freeBatches = append(s.freeBatches, b[:0])
+	}
+	s.freeMu.Unlock()
 }
 
 // flushLocked detaches the pending batch and hands it to the evaluator
@@ -178,9 +285,9 @@ func (s *Service) Submit(state []float64) <-chan float64 {
 // explicit shedding instead of an unbounded pending queue. The evaluator
 // never takes mu, so the send always makes progress.
 func (s *Service) flushLocked() {
-	if s.timer != nil {
+	if s.timerArmed {
 		s.timer.Stop()
-		s.timer = nil
+		s.timerArmed = false
 	}
 	if len(s.pending) == 0 {
 		return
@@ -196,7 +303,7 @@ func (s *Service) flushLocked() {
 		s.evalWG.Add(1)
 		go s.evaluator()
 	}
-	s.evalCh <- evalBatch{batch: batch, policy: s.policy, queueWait: s.mQueueWait}
+	s.evalCh <- evalBatch{batch: batch, policy: s.policy, queueWait: s.mQueueWait, after: s.AfterBatch}
 }
 
 // evaluator drains detached batches until Close closes the feed channel.
@@ -209,20 +316,25 @@ func (s *Service) evaluator() {
 
 // evaluate answers every request of one batch. No lock except evalMu is
 // held, so arrivals keep flowing into the next batch during the forward
-// passes.
+// passes. The drained batch slice is recycled.
 func (s *Service) evaluate(eb evalBatch) {
 	now := time.Time{}
 	if eb.queueWait != nil {
 		now = time.Now()
 	}
 	s.evalMu.Lock()
-	defer s.evalMu.Unlock()
-	for _, r := range eb.batch {
+	for i := range eb.batch {
+		r := &eb.batch[i]
 		if !r.enqueued.IsZero() {
 			eb.queueWait.Observe(now.Sub(r.enqueued).Seconds())
 		}
-		r.resp <- eb.policy.Action(r.state)
+		r.deliver(eb.policy.Action(r.state))
 	}
+	s.evalMu.Unlock()
+	if eb.after != nil {
+		eb.after()
+	}
+	s.putBatchBuf(eb.batch)
 }
 
 // Close flushes outstanding requests, waits for their answers to be

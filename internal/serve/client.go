@@ -14,6 +14,9 @@ import (
 // with length-prefixed framing. It is safe for concurrent use: calls are
 // pipelined over one connection and matched to responses by request ID,
 // which is how a sender process multiplexes many flows over one socket.
+// Requests issued through InferFlow carry the flow ID on the wire, so the
+// server keeps each flow's requests ordered on one shard even when the
+// flow's traffic spreads over several connections.
 type Client struct {
 	conn net.Conn
 
@@ -21,7 +24,10 @@ type Client struct {
 	// 0 waits forever). Adjust before issuing calls.
 	Timeout time.Duration
 
-	wmu sync.Mutex // serializes request frames
+	wmu  sync.Mutex // serializes request frames
+	wbuf []byte     // reusable request frame buffer (guarded by wmu)
+
+	chPool sync.Pool // of chan clientResult, cap 1
 
 	mu      sync.Mutex
 	next    uint64
@@ -50,10 +56,24 @@ func Dial(network, address string) (*Client, error) {
 		calls: make(map[uint64]chan clientResult)}, nil
 }
 
+func (c *Client) getCh() chan clientResult {
+	if v := c.chPool.Get(); v != nil {
+		return v.(chan clientResult)
+	}
+	return make(chan clientResult, 1)
+}
+
+// putCh recycles a result channel. Callers must guarantee the channel is
+// empty and unreachable: the call entry was deleted from c.calls under mu
+// (the read loop only sends while holding mu), and any buffered value was
+// drained.
+func (c *Client) putCh(ch chan clientResult) { c.chPool.Put(ch) }
+
 func (c *Client) readLoop() {
 	br := bufio.NewReaderSize(c.conn, 16<<10)
+	var rbuf []byte
 	for {
-		payload, err := readFrame(br)
+		payload, err := readFrameInto(br, &rbuf)
 		if err != nil {
 			c.mu.Lock()
 			c.dead = core.ErrClientClosed
@@ -81,10 +101,22 @@ func (c *Client) readLoop() {
 // returned Result says whether the action came from the policy or the
 // fallback law, and which policy version stamped it.
 func (c *Client) Infer(state []float64) (Result, error) {
-	ch := make(chan clientResult, 1)
+	return c.infer(state, 0, false)
+}
+
+// InferFlow is Infer with an explicit flow identity: the server hashes the
+// flow ID to a shard, so all requests tagged with one flow are answered in
+// submission order wherever they arrive.
+func (c *Client) InferFlow(flow uint64, state []float64) (Result, error) {
+	return c.infer(state, flow, true)
+}
+
+func (c *Client) infer(state []float64, flow uint64, tagged bool) (Result, error) {
+	ch := c.getCh()
 	c.mu.Lock()
 	if c.dead != nil {
 		c.mu.Unlock()
+		c.putCh(ch)
 		return Result{}, c.dead
 	}
 	if !c.started {
@@ -96,14 +128,12 @@ func (c *Client) Infer(state []float64) (Result, error) {
 	c.calls[id] = ch
 	c.mu.Unlock()
 
-	frame := appendFrame(make([]byte, 0, 4+core.RequestSize(len(state))), core.EncodeRequest(id, state))
 	c.wmu.Lock()
-	_, err := c.conn.Write(frame)
+	c.wbuf = appendFlowRequest(c.wbuf[:0], id, state, flow, tagged)
+	_, err := c.conn.Write(c.wbuf)
 	c.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.calls, id)
-		c.mu.Unlock()
+		c.dropCall(id, ch)
 		return Result{}, fmt.Errorf("serve: send request: %w", err)
 	}
 
@@ -115,17 +145,30 @@ func (c *Client) Infer(state []float64) (Result, error) {
 	}
 	select {
 	case r := <-ch:
+		c.putCh(ch)
 		return r.res, r.err
 	case <-timeout:
-		c.mu.Lock()
-		delete(c.calls, id)
-		c.mu.Unlock()
-		select {
-		case r := <-ch: // response raced the timer; the buffer kept it
+		if r, ok := c.dropCall(id, ch); ok {
+			// Response raced the timer; the buffer kept it.
 			return r.res, r.err
-		default:
 		}
 		return Result{}, fmt.Errorf("serve: request %d after %v: %w", id, c.Timeout, core.ErrInferTimeout)
+	}
+}
+
+// dropCall unregisters a pending call and reclaims its channel, returning
+// any result that landed before the entry was removed.
+func (c *Client) dropCall(id uint64, ch chan clientResult) (clientResult, bool) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+	select {
+	case r := <-ch:
+		c.putCh(ch)
+		return r, true
+	default:
+		c.putCh(ch)
+		return clientResult{}, false
 	}
 }
 

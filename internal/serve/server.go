@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,28 +18,42 @@ import (
 
 // Options configures a Server. The zero value selects production defaults.
 type Options struct {
-	// MaxInflight is the worker-pool size: the number of requests that may
-	// be inside the inference service at once. Default 64.
-	MaxInflight int
-	// QueueDepth is the admission queue between transports and workers;
-	// a request arriving with the queue full is shed with a fallback
-	// answer. Default 4×MaxInflight.
+	// Shards is how many policy shards to run: per-shard core.Service
+	// instances, each with its own evaluator goroutine, private batch
+	// queue, and cloned policy. Admission hashes the request's flow ID
+	// (per-connection identity when untagged) to a shard, so one flow's
+	// requests stay ordered on one evaluator. Default GOMAXPROCS, capped
+	// at 16.
+	Shards int
+	// QueueDepth bounds the in-flight requests per shard; a request
+	// arriving with its shard full is shed with a fallback answer.
+	// Default 4×MaxInflight for compatibility, else 1024.
 	QueueDepth int
+	// MaxInflight is retained for compatibility with the pre-sharding
+	// worker pool; it only feeds the QueueDepth default now.
+	MaxInflight int
 	// Deadline is the per-request budget measured from the moment the
 	// request is read off the wire. A request the policy has not answered
 	// within it receives the fallback action instead. Default 20ms.
 	Deadline time.Duration
 	// WriteTimeout bounds each response write so a stalled client cannot
-	// park a worker. Default 5s.
+	// park an evaluator for long. Default 5s.
 	WriteTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxInflight <= 0 {
-		o.MaxInflight = 64
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 16 {
+			o.Shards = 16
+		}
 	}
 	if o.QueueDepth <= 0 {
-		o.QueueDepth = 4 * o.MaxInflight
+		if o.MaxInflight > 0 {
+			o.QueueDepth = 4 * o.MaxInflight
+		} else {
+			o.QueueDepth = 1024
+		}
 	}
 	if o.Deadline <= 0 {
 		o.Deadline = 20 * time.Millisecond
@@ -49,40 +64,103 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// request is one admitted inference request. Exactly one reply route is
-// set: sc for stream transports, pc/from for datagram transports.
-type request struct {
-	reqID   uint64
-	state   []float64
-	arrived time.Time
-	sc      *streamConn
-	pc      net.PacketConn
-	from    net.Addr
+// servedReq is one admitted inference request. Requests are pooled: the
+// state buffer and the struct itself are recycled, so the steady-state
+// framed request path performs no per-request allocation. Exactly one reply
+// route is set: sc for stream transports, pc/from for datagram transports.
+//
+// Lifecycle: after admission the request is referenced by two parties — the
+// shard evaluator (via core.Service.SubmitTo) and the shard's deadline
+// sweeper. Whoever wins the answered CAS writes the response; both drop
+// their reference through release, and the loser's drop recycles the
+// request. A shed request never enters either and is recycled immediately.
+type servedReq struct {
+	srv      *Server
+	reqID    uint64
+	state    []float64
+	arrived  time.Time
+	deadline time.Time
+	shard    int
+	sc       *streamConn
+	pc       net.PacketConn
+	from     net.Addr
+	answered atomic.Bool
+	refs     atomic.Int32
 }
 
-// streamConn wraps one accepted stream connection; wmu serializes response
-// frames (workers and the shedding reader write concurrently).
+// Complete implements core.Completion: the shard evaluator delivers the
+// policy's action here. A request the sweeper already answered (deadline
+// miss) is left alone — never delivered twice.
+func (r *servedReq) Complete(action float64) {
+	if r.answered.CompareAndSwap(false, true) {
+		r.srv.reply(r, action, 0, true)
+	}
+	r.release()
+}
+
+func (r *servedReq) release() {
+	if r.refs.Add(-1) == 0 {
+		r.srv.putReq(r)
+	}
+}
+
+// streamConn wraps one accepted stream connection. wmu serializes the write
+// arena: evaluators append coalesced response frames to wbuf and flush once
+// per batch (or at the size threshold), so a batch of responses costs one
+// syscall per touched connection, not one per response. seed is the
+// connection's flow identity for untagged requests.
 type streamConn struct {
 	conn net.Conn
-	wmu  sync.Mutex
-	dead bool // write failed; guarded by wmu
+	seed uint64
+
+	wmu   sync.Mutex
+	wbuf  []byte // pending response frames (the per-conn write arena)
+	dirty bool   // wbuf has coalesced frames awaiting a batch flush
+	dead  bool   // write failed; guarded by wmu
 }
 
-// Server fans network clients into one shared batching core.Service. It
-// never spawns a goroutine per request: transports feed a bounded admission
-// queue drained by a fixed worker pool, and overflow is answered
-// immediately with the deterministic fallback action. See the package
-// comment for the full contract.
+// flushThreshold flushes a connection's write arena early when coalescing
+// has accumulated this many bytes.
+const flushThreshold = 16 << 10
+
+// sweepGranularity is the deadline sweeper's re-check period while parked
+// on an unanswered request: it bounds how long an answered request can
+// occupy a shard's in-flight slot, and the worst-case lateness of a
+// deadline fallback.
+const sweepGranularity = time.Millisecond
+
+// dirtySet tracks the connections a shard's evaluator has coalesced
+// responses into since its last batch flush. Two slices ping-pong so the
+// steady state allocates nothing.
+type dirtySet struct {
+	mu    sync.Mutex
+	conns []*streamConn
+	spare []*streamConn
+}
+
+// connSeq seeds per-connection flow identities.
+var connSeq atomic.Uint64
+
+// Server fans network clients into a ShardedService: N per-shard batching
+// core.Service instances with flow-ID-hashed admission. It never spawns a
+// goroutine per request: transport readers admit directly into the owning
+// shard (bounded by QueueDepth, overflow shed with an immediate fallback
+// answer), the shard evaluator answers through the pooled request's
+// Complete, and a per-shard sweeper answers anything the policy has not
+// delivered by its deadline. See the package comment for the full contract.
 type Server struct {
-	svc      *core.Service
+	sharded  *ShardedService
 	fallback *core.ReferencePolicy
 	opts     Options
 
 	version atomic.Uint32
 
-	queue    chan request
-	workerWG sync.WaitGroup
-	ioWG     sync.WaitGroup
+	sweeps  []chan *servedReq
+	dirty   []dirtySet
+	sweepWG sync.WaitGroup
+	ioWG    sync.WaitGroup
+
+	reqPool sync.Pool
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -108,32 +186,47 @@ type Server struct {
 	hLatency   *telemetry.Histogram
 }
 
-// NewServer builds a server around svc. The fallback law is the reference
-// policy for cfg, used through its pure FallbackAction (safe concurrently).
-// The policy version starts at 1; every successful SetPolicy increments it.
-// Workers start immediately; call Listen to accept traffic.
+// NewServer builds a server around svc, which becomes shard 0 of a
+// ShardedService of opts.Shards shards (the remaining shards clone svc's
+// policy and batching parameters). The fallback law is the reference policy
+// for cfg, used through its pure FallbackAction (safe concurrently). The
+// policy version starts at 1; every successful SetPolicy increments it.
+// Shard evaluators and sweepers start immediately; call Listen to accept
+// traffic.
 func NewServer(svc *core.Service, cfg core.Config, opts Options) *Server {
 	s := &Server{
-		svc:      svc,
 		fallback: core.NewReferencePolicy(cfg),
 		opts:     opts.withDefaults(),
 		conns:    make(map[*streamConn]struct{}),
 	}
 	s.version.Store(1)
-	s.queue = make(chan request, s.opts.QueueDepth)
-	for i := 0; i < s.opts.MaxInflight; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
+	s.sharded = NewShardedService(svc, cfg, s.opts.Shards)
+	n := s.sharded.NumShards()
+	s.sweeps = make([]chan *servedReq, n)
+	s.dirty = make([]dirtySet, n)
+	for i := 0; i < n; i++ {
+		s.sweeps[i] = make(chan *servedReq, s.opts.QueueDepth)
+		idx := i
+		s.sharded.Shard(i).AfterBatch = func() { s.flushShard(idx) }
+		s.sweepWG.Add(1)
+		go s.sweeper(idx)
 	}
 	return s
 }
+
+// Sharded exposes the underlying shard set (shard count, per-shard
+// services) for tests and operational tooling.
+func (s *Server) Sharded() *ShardedService { return s.sharded }
+
+// Stats sums request and batch counts across all shards.
+func (s *Server) Stats() (requests, batches int64) { return s.sharded.Stats() }
 
 // Instrument registers the serving metrics on reg. Call before Listen.
 func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.mRequests = reg.Counter("serve_requests_total", "requests read off the wire")
 	s.mResponses = reg.Counter("serve_responses_total", "responses written (incl. fallback)")
 	s.mFallback = reg.Counter("serve_fallback_total", "responses answered by the fallback law")
-	s.mShed = reg.Counter("serve_shed_total", "requests shed at admission (queue full)")
+	s.mShed = reg.Counter("serve_shed_total", "requests shed at admission (shard queue full)")
 	s.mDeadline = reg.Counter("serve_deadline_miss_total", "requests that outran their deadline")
 	s.mReadErr = reg.Counter("serve_read_errors_total", "malformed frames/datagrams and failed reads")
 	s.mWriteErr = reg.Counter("serve_write_errors_total", "failed response writes")
@@ -141,19 +234,27 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.gConns = reg.Gauge("serve_conns_active", "open stream connections")
 	s.gVersion = reg.Gauge("serve_policy_version", "version counter of the served policy")
 	s.gVersion.Set(float64(s.version.Load()))
+	reg.Gauge("serve_shards", "policy shards serving").Set(float64(s.sharded.NumShards()))
 	s.hLatency = reg.Histogram("serve_e2e_latency_seconds", "wire-to-wire request latency",
 		telemetry.ExponentialBuckets(1e-5, 4, 12)) // 10 µs .. 42 s
-	reg.GaugeFunc("serve_queue_depth", "requests parked in the admission queue", func() float64 {
-		return float64(len(s.queue))
+	reg.GaugeFunc("serve_queue_depth", "requests in flight across shard queues", func() float64 {
+		total := 0
+		for _, c := range s.sweeps {
+			total += len(c)
+		}
+		return float64(total)
 	})
-	s.svc.Instrument(reg)
+	s.sharded.Instrument(reg)
 }
 
-// SetPolicy atomically swaps the served policy and bumps the version
-// counter. In-flight batches keep the policy they were detached with, so no
-// request is dropped or errored by a swap.
+// SetPolicy swaps the served policy on every shard (cloned per shard so no
+// two evaluators share scratch state) and then bumps the single global
+// version counter — one atomic event for the whole fleet. In-flight batches
+// keep the policy they were detached with, so no request is dropped or
+// errored by a swap; responses are stamped with the counter value at write
+// time, so the version a connection observes is monotonic.
 func (s *Server) SetPolicy(p core.Policy) uint32 {
-	s.svc.SetPolicy(p)
+	s.sharded.SetPolicy(p)
 	v := s.version.Add(1)
 	s.gVersion.Set(float64(v))
 	return v
@@ -223,7 +324,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			}
 			continue // transient accept error (e.g. EMFILE): keep serving
 		}
-		sc := &streamConn{conn: conn}
+		sc := &streamConn{conn: conn, seed: connSeq.Add(1)}
 		s.mu.Lock()
 		if s.draining || s.closed {
 			s.mu.Unlock()
@@ -241,15 +342,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 // connLoop reads framed requests off one stream connection until the peer
 // closes it (or a fatal read error). Malformed payloads and oversized
-// frames are counted and skipped; framing keeps the stream aligned.
+// frames are counted and skipped; framing keeps the stream aligned. The
+// frame payload is read into a per-connection reusable buffer, so the
+// steady-state read path allocates nothing.
 func (s *Server) connLoop(sc *streamConn) {
 	defer s.ioWG.Done()
 	defer func() {
 		s.mu.Lock()
 		if s.draining {
 			// Drain in progress: stop reading but leave the connection open
-			// and registered — workers may still owe it replies. doShutdown
-			// closes it after the worker pool empties.
+			// and registered — shards may still owe it replies. doShutdown
+			// closes it after the shard queues empty.
 			s.mu.Unlock()
 			return
 		}
@@ -258,9 +361,10 @@ func (s *Server) connLoop(sc *streamConn) {
 		sc.conn.Close()
 		s.gConns.Add(-1)
 	}()
-	br := bufio.NewReaderSize(sc.conn, 32<<10)
+	br := bufio.NewReaderSize(sc.conn, 64<<10)
+	var rbuf []byte
 	for {
-		payload, err := readFrame(br)
+		payload, err := readFrameInto(br, &rbuf)
 		if err != nil {
 			var tooBig errFrameTooLarge
 			if errors.As(err, &tooBig) {
@@ -278,13 +382,7 @@ func (s *Server) connLoop(sc *streamConn) {
 			}
 			return
 		}
-		reqID, state, err := core.DecodeRequest(payload)
-		if err != nil {
-			s.mReadErr.Inc()
-			continue
-		}
-		s.mRequests.Inc()
-		s.admit(request{reqID: reqID, state: state, arrived: time.Now(), sc: sc})
+		s.handlePayload(payload, sc, nil, nil)
 	}
 }
 
@@ -292,7 +390,7 @@ func (s *Server) connLoop(sc *streamConn) {
 // socket stays open so queued replies can still go out).
 func (s *Server) packetLoop(pc net.PacketConn) {
 	defer s.ioWG.Done()
-	buf := make([]byte, core.RequestSize(core.MaxStateDim))
+	buf := make([]byte, core.RequestSize(core.MaxStateDim)+flowTrailerSize)
 	for {
 		n, from, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -304,83 +402,137 @@ func (s *Server) packetLoop(pc net.PacketConn) {
 			}
 			continue
 		}
-		reqID, state, err := core.DecodeRequest(buf[:n])
-		if err != nil {
-			s.mReadErr.Inc()
-			continue
-		}
-		s.mRequests.Inc()
-		s.admit(request{reqID: reqID, state: state, arrived: time.Now(), pc: pc, from: from})
+		s.handlePayload(buf[:n], nil, pc, from)
 	}
 }
 
-// admit enqueues a request for the worker pool, or sheds it with an
-// immediate fallback answer when the queue is full. Shedding runs on the
-// transport goroutine: the fallback law is pure, so this is cheap and needs
-// no coordination.
-func (s *Server) admit(r request) {
+// getReq fetches a pooled request object.
+func (s *Server) getReq() *servedReq {
+	if v := s.reqPool.Get(); v != nil {
+		return v.(*servedReq)
+	}
+	return &servedReq{srv: s, state: make([]float64, 0, 64)}
+}
+
+// putReq recycles a request object; the state buffer keeps its capacity.
+func (s *Server) putReq(r *servedReq) {
+	r.sc, r.pc, r.from = nil, nil, nil
+	s.reqPool.Put(r)
+}
+
+// handlePayload decodes one request payload (framed stream or bare
+// datagram) into a pooled request and admits it to its shard. The flow key
+// is the request's flow-ID trailer when present, else the connection's seed
+// (stream) or the sender address (datagram) — so untagged senders get
+// per-connection ordering and tagged flows get cross-connection ordering.
+// A request whose shard queue is full is shed with an immediate fallback
+// answer on the transport goroutine: the fallback law is pure, so this is
+// cheap and needs no coordination.
+func (s *Server) handlePayload(payload []byte, sc *streamConn, pc net.PacketConn, from net.Addr) {
+	r := s.getReq()
+	reqID, state, err := core.DecodeRequestInto(payload, r.state[:0])
+	if err != nil {
+		s.mReadErr.Inc()
+		s.putReq(r)
+		return
+	}
+	s.mRequests.Inc()
+	r.reqID = reqID
+	r.state = state
+	r.sc, r.pc, r.from = sc, pc, from
+	r.arrived = time.Now()
+	r.deadline = r.arrived.Add(s.opts.Deadline)
+
+	var key uint64
+	if flow, tagged := requestFlow(payload, len(state)); tagged {
+		key = flow
+	} else if sc != nil {
+		key = sc.seed
+	} else {
+		key = addrKey(from)
+	}
+	idx := s.sharded.ShardIndex(key)
+	r.shard = idx
+	r.answered.Store(false)
+	r.refs.Store(2)
 	select {
-	case s.queue <- r:
+	case s.sweeps[idx] <- r:
 	default:
 		s.mShed.Inc()
 		s.mFallback.Inc()
-		s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagShed)
+		s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagShed, false)
+		s.putReq(r)
+		return
 	}
+	s.sharded.Shard(idx).SubmitTo(r.state, r)
 }
 
-// worker drains the admission queue: submit to the batching service, wait
-// at most the remaining deadline, and fall back deterministically if the
-// policy is late. The late real answer lands in the submission's buffered
-// channel and is garbage-collected — never delivered twice.
-func (s *Server) worker() {
-	defer s.workerWG.Done()
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
+// addrKey hashes a datagram sender address (FNV-1a over the concrete
+// address bytes, avoiding the String allocation for the common types).
+func addrKey(a net.Addr) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		for _, b := range v.IP {
+			h = (h ^ uint64(b)) * prime
+		}
+		h = (h ^ uint64(v.Port)) * prime
+	case *net.UnixAddr:
+		for i := 0; i < len(v.Name); i++ {
+			h = (h ^ uint64(v.Name[i])) * prime
+		}
+	default:
+		str := a.String()
+		for i := 0; i < len(str); i++ {
+			h = (h ^ uint64(str[i])) * prime
+		}
 	}
-	for r := range s.queue {
-		rem := s.opts.Deadline - time.Since(r.arrived)
-		if rem <= 0 {
-			s.mDeadline.Inc()
-			s.mFallback.Inc()
-			s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagDeadline)
-			continue
-		}
-		ch := s.svc.Submit(r.state)
-		timer.Reset(rem)
-		select {
-		case a := <-ch:
-			if !timer.Stop() {
-				<-timer.C
+	return h
+}
+
+// sweeper is one shard's deadline watchdog: it walks admitted requests in
+// arrival (hence deadline) order and answers any the evaluator has not
+// delivered by its deadline with the fallback action. It re-checks at
+// sweepGranularity while parked, so an answered request frees its in-flight
+// slot promptly instead of holding it until the deadline.
+func (s *Server) sweeper(idx int) {
+	defer s.sweepWG.Done()
+	for r := range s.sweeps[idx] {
+		for !r.answered.Load() {
+			d := time.Until(r.deadline)
+			if d <= 0 {
+				if r.answered.CompareAndSwap(false, true) {
+					s.mDeadline.Inc()
+					s.mFallback.Inc()
+					s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagDeadline, false)
+				}
+				break
 			}
-			s.reply(r, a, 0)
-		case <-timer.C:
-			s.mDeadline.Inc()
-			s.mFallback.Inc()
-			s.reply(r, s.fallback.FallbackAction(r.state), FlagFallback|FlagDeadline)
+			if d > sweepGranularity {
+				d = sweepGranularity
+			}
+			time.Sleep(d)
 		}
+		r.release()
 	}
 }
 
 // reply writes one response over the request's transport and records
-// latency. Stream writes are serialized per connection and bounded by
-// WriteTimeout; a failed stream write marks the connection dead (the reader
-// will notice the close) rather than blocking further workers.
-func (s *Server) reply(r request, action float64, flags uint32) {
-	payload := encodeServedResponse(r.reqID, action, flags, s.version.Load())
+// latency. Stream responses append to the connection's write arena; with
+// coalesce set (the evaluator path) the arena is flushed once per batch by
+// the shard's AfterBatch hook, otherwise (fallback/shed answers) it is
+// flushed immediately — the whole arena, so per-connection response order
+// is preserved.
+func (s *Server) reply(r *servedReq, action float64, flags uint32, coalesce bool) {
 	if r.sc != nil {
-		frame := appendFrame(make([]byte, 0, 4+len(payload)), payload)
-		r.sc.wmu.Lock()
-		if !r.sc.dead {
-			r.sc.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-			if _, err := r.sc.conn.Write(frame); err != nil {
-				r.sc.dead = true
-				s.mWriteErr.Inc()
-				r.sc.conn.Close()
-			}
-		}
-		r.sc.wmu.Unlock()
+		s.writeStream(r.sc, r.shard, r.reqID, action, flags, coalesce)
 	} else {
+		var buf [servedResponseSize]byte
+		payload := appendServedResponse(buf[:0], r.reqID, action, flags, s.version.Load())
 		if _, err := r.pc.WriteTo(payload, r.from); err != nil {
 			s.mWriteErr.Inc()
 		}
@@ -389,12 +541,81 @@ func (s *Server) reply(r request, action float64, flags uint32) {
 	s.hLatency.Observe(time.Since(r.arrived).Seconds())
 }
 
+// writeStream appends one framed response to the connection's write arena.
+// The version stamp is read under wmu at append time, so the sequence of
+// versions on one connection is monotonic. The dirty flag is only ever
+// set by a goroutine that will follow with an arena flush (the evaluator's
+// AfterBatch, or the inline flush here), so coalesced bytes can never be
+// stranded.
+func (s *Server) writeStream(sc *streamConn, shardIdx int, reqID uint64, action float64, flags uint32, coalesce bool) {
+	sc.wmu.Lock()
+	if sc.dead {
+		sc.wmu.Unlock()
+		return
+	}
+	sc.wbuf = appendServedFrame(sc.wbuf, reqID, action, flags, s.version.Load())
+	if !coalesce || len(sc.wbuf) >= flushThreshold {
+		s.flushConnLocked(sc)
+		sc.wmu.Unlock()
+		return
+	}
+	alreadyDirty := sc.dirty
+	sc.dirty = true
+	sc.wmu.Unlock()
+	if !alreadyDirty {
+		d := &s.dirty[shardIdx]
+		d.mu.Lock()
+		d.conns = append(d.conns, sc)
+		d.mu.Unlock()
+	}
+}
+
+// flushConnLocked writes and resets the connection's arena; callers hold
+// wmu. A failed or timed-out write marks the connection dead (the reader
+// will notice the close) rather than blocking shards indefinitely.
+func (s *Server) flushConnLocked(sc *streamConn) {
+	if len(sc.wbuf) == 0 || sc.dead {
+		return
+	}
+	sc.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	_, err := sc.conn.Write(sc.wbuf)
+	sc.wbuf = sc.wbuf[:0]
+	if err != nil {
+		sc.dead = true
+		s.mWriteErr.Inc()
+		sc.conn.Close()
+	}
+}
+
+// flushShard is shard idx's AfterBatch hook: flush every connection the
+// evaluator coalesced responses into during the batch. One syscall per
+// touched connection per batch is what turns the per-response write of the
+// old design into line-rate framing.
+func (s *Server) flushShard(idx int) {
+	d := &s.dirty[idx]
+	d.mu.Lock()
+	conns := d.conns
+	d.conns = d.spare[:0]
+	d.mu.Unlock()
+	for _, sc := range conns {
+		sc.wmu.Lock()
+		sc.dirty = false
+		s.flushConnLocked(sc)
+		sc.wmu.Unlock()
+	}
+	clear(conns)
+	d.mu.Lock()
+	d.spare = conns[:0]
+	d.mu.Unlock()
+}
+
 // Shutdown drains the server: stop accepting new connections and datagrams,
 // let requests in flight (including those still arriving on open stream
-// connections) finish, then release the workers and flush the service. It
-// returns nil on a clean drain. If ctx expires first, remaining connections
-// are force-closed and ctx's error is returned. Shutdown is idempotent;
-// concurrent calls share the first caller's outcome.
+// connections) finish, then close the shard services and release the
+// sweepers. It returns nil on a clean drain. If ctx expires first,
+// remaining connections are force-closed and ctx's error is returned.
+// Shutdown is idempotent; concurrent calls share the first caller's
+// outcome.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() { s.shutdownErr = s.doShutdown(ctx) })
 	return s.shutdownErr
@@ -415,7 +636,7 @@ func (s *Server) doShutdown(ctx context.Context) error {
 		ln.Close()
 	}
 	// Poke the transport readers out of their blocking reads; they see
-	// draining and stop reading while the sockets stay open, so workers can
+	// draining and stop reading while the sockets stay open, so shards can
 	// still flush replies for everything already admitted.
 	for _, pc := range pconns {
 		_ = pc.SetReadDeadline(time.Now())
@@ -442,10 +663,15 @@ func (s *Server) doShutdown(ctx context.Context) error {
 		<-ioDone
 	}
 
-	// All transport goroutines have exited: nothing can enqueue anymore.
-	close(s.queue)
-	s.workerWG.Wait()
-	s.svc.Close()
+	// All transport goroutines have exited: nothing can admit anymore.
+	// Closing the shard services completes every submitted request (the
+	// evaluators drain), after which the sweepers see only answered
+	// entries and exit quickly once their feeds close.
+	s.sharded.Close()
+	for _, c := range s.sweeps {
+		close(c)
+	}
+	s.sweepWG.Wait()
 
 	s.mu.Lock()
 	s.closed = true

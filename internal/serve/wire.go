@@ -23,15 +23,23 @@ import (
 //
 //	frame:    [len uint32][payload]
 //	request:  payload = core request codec  (reqID, state)
+//	          + optional trailer [flowID uint64]
 //	response: payload = core response codec (reqID, action)
 //	          + trailer [flags uint32][version uint32]
 //
-// The trailer is how the fallback answer travels in-band: a sender that
-// understands it learns whether the action came from the live policy or the
-// fallback law (and which policy version answered); a sender that only
-// speaks the base codec still gets a usable action, because
+// The response trailer is how the fallback answer travels in-band: a sender
+// that understands it learns whether the action came from the live policy
+// or the fallback law (and which policy version answered); a sender that
+// only speaks the base codec still gets a usable action, because
 // core.DecodeResponse ignores trailing bytes. Datagram transports reuse the
 // same payloads without the frame prefix.
+//
+// The request trailer carries the flow identity for sharded admission: all
+// requests tagged with one flow ID hash to one shard and are answered in
+// order, whichever connection they arrive on. An untagged request inherits
+// a per-connection flow identity, so plain senders (one flow per socket)
+// keep strict ordering too. core.DecodeRequest ignores trailing bytes, so
+// tagged requests remain readable by base-codec servers.
 
 // Response flag bits.
 const (
@@ -65,17 +73,58 @@ func (r Result) DeadlineMissed() bool { return r.Flags&FlagDeadline != 0 }
 // servedResponseSize is the response payload size: base codec + trailer.
 const servedResponseSize = core.ResponseSize + 8
 
+// flowTrailerSize is the optional request trailer carrying the flow ID.
+const flowTrailerSize = 8
+
 // maxFramePayload bounds what either side will read in one frame: the
-// largest request the core codec admits (responses are far smaller).
-const maxFramePayload = 12 + 8*core.MaxStateDim
+// largest request the core codec admits plus the flow trailer (responses
+// are far smaller).
+const maxFramePayload = 12 + 8*core.MaxStateDim + flowTrailerSize
 
 // encodeServedResponse builds a response payload with the serve trailer.
 func encodeServedResponse(reqID uint64, action float64, flags, version uint32) []byte {
-	buf := make([]byte, servedResponseSize)
-	copy(buf, core.EncodeResponse(reqID, action))
-	binary.LittleEndian.PutUint32(buf[core.ResponseSize:], flags)
-	binary.LittleEndian.PutUint32(buf[core.ResponseSize+4:], version)
-	return buf
+	return appendServedResponse(make([]byte, 0, servedResponseSize), reqID, action, flags, version)
+}
+
+// appendServedResponse appends a response payload (base codec + serve
+// trailer) to dst — the allocation-free form for reusable write arenas.
+func appendServedResponse(dst []byte, reqID uint64, action float64, flags, version uint32) []byte {
+	dst = core.AppendResponse(dst, reqID, action)
+	dst = binary.LittleEndian.AppendUint32(dst, flags)
+	return binary.LittleEndian.AppendUint32(dst, version)
+}
+
+// appendServedFrame appends one framed response to dst: length prefix, base
+// codec, trailer — a single append chain into a per-connection arena.
+func appendServedFrame(dst []byte, reqID uint64, action float64, flags, version uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, servedResponseSize)
+	return appendServedResponse(dst, reqID, action, flags, version)
+}
+
+// requestFlow extracts the flow-ID trailer from a request payload whose
+// core-codec portion decoded to dim state features. ok is false when the
+// request carries no trailer.
+func requestFlow(payload []byte, dim int) (flow uint64, ok bool) {
+	base := core.RequestSize(dim)
+	if len(payload) < base+flowTrailerSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload[base:]), true
+}
+
+// appendFlowRequest appends a framed, flow-tagged request to dst: length
+// prefix, core request codec, flow trailer.
+func appendFlowRequest(dst []byte, reqID uint64, state []float64, flow uint64, tagged bool) []byte {
+	n := core.RequestSize(len(state))
+	if tagged {
+		n += flowTrailerSize
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = core.AppendRequest(dst, reqID, state)
+	if tagged {
+		dst = binary.LittleEndian.AppendUint64(dst, flow)
+	}
+	return dst
 }
 
 // decodeServedResponse parses a response payload. The trailer is optional
@@ -113,15 +162,32 @@ func writeFrame(w io.Writer, payload []byte) error {
 // an error (the stream is still positioned at a frame boundary afterwards
 // only if the caller discards the oversized body; see discardFrame).
 func readFrame(r *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var scratch []byte
+	return readFrameInto(r, &scratch)
+}
+
+// readFrameInto is readFrame with a caller-owned reusable buffer: the
+// payload is read into *buf (grown as needed and written back), so a
+// steady-state connection loop performs zero allocations per frame. The
+// returned slice aliases *buf and is valid until the next call.
+func readFrameInto(r *bufio.Reader, buf *[]byte) ([]byte, error) {
+	// The header is read through *buf too: a stack array passed to
+	// io.ReadFull escapes and costs an allocation per frame.
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 4, 512)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n > maxFramePayload {
 		return nil, errFrameTooLarge(n)
 	}
-	payload := make([]byte, n)
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# Serving benchmark: measure the inference server end to end and persist the
-# result as BENCH_serve.json in the repo root — the tracked trajectory for
-# the paper's Fig. 16b claim (one shared service absorbing many senders).
+# Serving benchmark: measure the sharded inference server end to end and
+# persist the result as BENCH_serve.json in the repo root — the tracked
+# trajectory for the paper's Fig. 16b claim (one shared service absorbing
+# many senders).
 #
-# The JSON is the loadgen summary verbatim: target/achieved RPS, latency
-# percentiles (p50/p90/p99/max ms), and the fallback/shed/deadline-miss
-# counts and rate. A healthy run on a quiet machine shows fallback_rate 0
-# and p99 a few ms (one batching window plus policy evaluation).
+# Default mode is the saturation sweep: the loadgen steps closed-loop
+# concurrency (doubling per-connection outstanding) until throughput stops
+# improving and records the knee — the cheapest concurrency within 90% of
+# max throughput — plus the full curve and environment provenance
+# (GOMAXPROCS, CPU model, go version, commit, shard count), so two recorded
+# numbers are comparable at a glance. Setting RATE switches to a fixed-rate
+# open-loop run (the pre-sharding shape, with coordinated-omission-corrected
+# latencies and the generator's worst scheduling lag).
 #
-# Tunables (env): RATE (req/s, default 5000), DURATION (default 10s),
-# CONNS (default 8), DEADLINE (default 20ms), OUT (default BENCH_serve.json).
+# Tunables (env): SHARDS (default nproc), CONNS (default 8), DURATION
+# (per-step in knee mode, default 3s), MAXOUT (max outstanding/conn tried,
+# default 128), DEADLINE (default 20ms), QUEUE (per-shard queue depth,
+# default 4096 so the sweep measures the evaluators, not admission), RATE
+# (open-loop req/s; empty = knee sweep), OUT (default BENCH_serve.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-RATE=${RATE:-5000}
-DURATION=${DURATION:-10s}
+SHARDS=${SHARDS:-$(nproc)}
 CONNS=${CONNS:-8}
+DURATION=${DURATION:-3s}
+MAXOUT=${MAXOUT:-128}
 DEADLINE=${DEADLINE:-20ms}
+QUEUE=${QUEUE:-4096}
+RATE=${RATE:-}
 OUT=${OUT:-BENCH_serve.json}
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo "")
 
 WORK=$(mktemp -d)
 SERVE_PID=""
@@ -31,13 +43,20 @@ go build -o "$WORK/astraea-serve" ./cmd/astraea-serve
 go build -o "$WORK/astraea-loadgen" ./cmd/astraea-loadgen
 
 "$WORK/astraea-serve" -listen tcp:127.0.0.1:0 -policy reference \
-    -deadline "$DEADLINE" -addr-file "$WORK/addr" >"$WORK/serve.log" 2>&1 &
+    -shards "$SHARDS" -deadline "$DEADLINE" -queue-depth "$QUEUE" \
+    -addr-file "$WORK/addr" >"$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
 [ -s "$WORK/addr" ] || { echo "bench-serve: server never bound"; cat "$WORK/serve.log"; exit 1; }
 
-"$WORK/astraea-loadgen" -addr "$(head -1 "$WORK/addr")" \
-    -rate "$RATE" -duration "$DURATION" -conns "$CONNS" -out "$OUT"
+if [ -n "$RATE" ]; then
+    "$WORK/astraea-loadgen" -addr "$(head -1 "$WORK/addr")" \
+        -rate "$RATE" -duration "$DURATION" -conns "$CONNS" -flows -out "$OUT"
+else
+    "$WORK/astraea-loadgen" -addr "$(head -1 "$WORK/addr")" \
+        -knee -duration "$DURATION" -conns "$CONNS" -outstanding "$MAXOUT" -flows \
+        -commit "$COMMIT" -shards "$SHARDS" -out "$OUT"
+fi
 
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID" || { echo "bench-serve: drain was not clean"; cat "$WORK/serve.log"; exit 1; }

@@ -21,23 +21,29 @@ SMOKE=$(mktemp -d)
 COVER=$(mktemp)
 trap 'rm -rf "$SMOKE"; rm -f "$COVER"' EXIT
 
-# Serving-path smoke: boot astraea-serve on an ephemeral port, drive it with
-# astraea-loadgen (which exits non-zero if any request fails hard — fallback
-# answers are fine, unanswered requests are not), then SIGINT and require a
-# clean drain. This exercises the real binaries and signal path, which the
-# package tests cannot.
-go build -o "$SMOKE/astraea-serve" ./cmd/astraea-serve
+# Serving-path smoke: boot astraea-serve (4 shards, race-built so the
+# sharded hot path — pooled requests, write arenas, sweepers, hot reload —
+# runs under the detector with real traffic), drive it with astraea-loadgen
+# (which exits non-zero if any request fails hard — fallback answers are
+# fine, unanswered requests are not), probe the saturation knee (non-zero
+# throughput required), then SIGINT and require a clean drain. This
+# exercises the real binaries and signal path, which the package tests
+# cannot.
+go build -race -o "$SMOKE/astraea-serve" ./cmd/astraea-serve
 go build -o "$SMOKE/astraea-loadgen" ./cmd/astraea-loadgen
-"$SMOKE/astraea-serve" -listen tcp:127.0.0.1:0 -policy reference \
+"$SMOKE/astraea-serve" -listen tcp:127.0.0.1:0 -policy reference -shards 4 \
     -addr-file "$SMOKE/addr" >"$SMOKE/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -s "$SMOKE/addr" ] && break; sleep 0.1; done
 [ -s "$SMOKE/addr" ] || { echo "ci: astraea-serve never bound"; cat "$SMOKE/serve.log"; exit 1; }
 "$SMOKE/astraea-loadgen" -addr "$(head -1 "$SMOKE/addr")" \
-    -rate 2000 -duration 1s -out "$SMOKE/load.json"
+    -rate 2000 -duration 1s -flows -out "$SMOKE/load.json"
+"$SMOKE/astraea-loadgen" -addr "$(head -1 "$SMOKE/addr")" \
+    -knee -duration 300ms -outstanding 8 -flows -out "$SMOKE/knee.json"
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID" || { echo "ci: astraea-serve drain was not clean"; cat "$SMOKE/serve.log"; exit 1; }
 grep -q "drained after" "$SMOKE/serve.log" || { echo "ci: no drain line"; cat "$SMOKE/serve.log"; exit 1; }
+if grep -q "RACE" "$SMOKE/serve.log"; then echo "ci: race detected in serve smoke"; cat "$SMOKE/serve.log"; exit 1; fi
 
 # Coverage summary: per-package statement coverage plus the total, so a PR
 # that guts a test file shows up as a number, not a feeling.

@@ -7,6 +7,12 @@
 //
 //	astraea-infer -listen udp:127.0.0.1:9000 -policy reference
 //	astraea-infer -listen unixgram:/tmp/astraea.sock -policy actor.json
+//	astraea-infer -listen udp:127.0.0.1:9000 -policy actor.aqp
+//
+// Policy files load through the same format sniffing as astraea-serve:
+// quantized blobs (cmd/astraea-quantize) serve the fixed-point compiled
+// form; JSON actor weights are compiled to it at load unless -float keeps
+// the float64 oracle network.
 package main
 
 import (
@@ -22,7 +28,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", "udp:127.0.0.1:9000", "network:address to serve on (udp:host:port or unixgram:/path)")
-	policyArg := flag.String("policy", "reference", `"reference" or a path to JSON actor weights`)
+	policyArg := flag.String("policy", "reference", `"reference", a path to JSON actor weights, or a quantized blob (astraea-quantize)`)
+	floatPath := flag.Bool("float", false, "serve JSON actor weights as float64 instead of compiling them to the quantized fixed-point form")
 	window := flag.Duration("window", 5*time.Millisecond, "batching window")
 	maxBatch := flag.Int("max-batch", 256, "flush threshold")
 	flag.Parse()
@@ -38,7 +45,7 @@ func main() {
 	if *policyArg == "reference" {
 		policy = core.NewReferencePolicy(cfg)
 	} else {
-		p, err := core.LoadPolicy(*policyArg, cfg)
+		p, err := core.LoadServingPolicy(*policyArg, cfg, !*floatPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astraea-infer:", err)
 			os.Exit(1)

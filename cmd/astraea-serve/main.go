@@ -7,11 +7,18 @@
 // of internal/serve; udp and unixgram endpoints speak the bare datagram
 // codec, so existing core.ServiceClient senders keep working.
 //
+// Policy artifacts: -policy accepts "reference", JSON actor weights, or a
+// quantized blob from cmd/astraea-quantize. JSON weights are compiled to
+// the fixed-point serving form at load by default (several times faster
+// per inference, see DESIGN.md §12); -float keeps the float64 network —
+// the equivalence oracle — instead. Blobs always serve quantized.
+//
 // Examples:
 //
 //	astraea-serve -listen tcp:127.0.0.1:9000 -policy reference
 //	astraea-serve -listen tcp::9000,unixgram:/tmp/astraea.sock \
 //	    -policy actor.json -reload 1s -deadline 10ms -telemetry :9090
+//	astraea-serve -listen tcp::9000 -policy actor.aqp
 //
 // Signals: SIGHUP reloads the policy file in place (version bump, no
 // dropped requests); SIGINT/SIGTERM drain gracefully.
@@ -35,7 +42,8 @@ import (
 func main() {
 	listen := flag.String("listen", "tcp:127.0.0.1:9000",
 		"comma-separated endpoints, each network:address (tcp:host:port, unix:/path, udp:host:port, unixgram:/path)")
-	policyArg := flag.String("policy", "reference", `"reference" or a path to JSON actor weights`)
+	policyArg := flag.String("policy", "reference", `"reference", a path to JSON actor weights, or a quantized blob (astraea-quantize)`)
+	floatPath := flag.Bool("float", false, "serve JSON actor weights as float64 instead of compiling them to the quantized fixed-point form")
 	reload := flag.Duration("reload", 0,
 		"poll the -policy file at this interval and hot-reload on change (0 disables; SIGHUP always reloads)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
@@ -50,14 +58,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful drain may take before connections are cut")
 	flag.Parse()
 
-	if err := run(*listen, *policyArg, *reload, *telemetryAddr, *pprofAddr,
+	if err := run(*listen, *policyArg, *floatPath, *reload, *telemetryAddr, *pprofAddr,
 		*shards, *maxInflight, *queueDepth, *deadline, *window, *maxBatch, *addrFile, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "astraea-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAddr string,
+func run(listen, policyArg string, floatPath bool, reload time.Duration, telemetryAddr, pprofAddr string,
 	shards, maxInflight, queueDepth int, deadline, window time.Duration, maxBatch int,
 	addrFile string, drainTimeout time.Duration) error {
 
@@ -67,12 +75,18 @@ func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAdd
 	if policyArg == "reference" {
 		policy = core.NewReferencePolicy(cfg)
 	} else {
-		p, err := core.LoadPolicy(policyArg, cfg)
+		p, err := core.LoadServingPolicy(policyArg, cfg, !floatPath)
 		if err != nil {
 			return err
 		}
 		policy = p
 		policyPath = policyArg
+		if qp, ok := p.(*core.QuantizedPolicy); ok {
+			fmt.Printf("astraea-serve: serving quantized policy (%d layers, %d parameter bytes)\n",
+				qp.Q.NumLayers(), qp.Q.ParamBytes())
+		} else {
+			fmt.Println("astraea-serve: serving float64 policy (-float oracle path)")
+		}
 	}
 
 	svc := core.NewService(cfg, policy)
@@ -90,6 +104,7 @@ func run(listen, policyArg string, reload time.Duration, telemetryAddr, pprofAdd
 	var reloader *serve.Reloader
 	if policyPath != "" {
 		reloader = serve.NewReloader(srv, policyPath, cfg)
+		reloader.Quantize = !floatPath
 		reloader.Instrument(reg)
 		if reload > 0 {
 			reloader.Interval = reload

@@ -1,0 +1,219 @@
+package check
+
+// Closed-loop equivalence sweep for the quantized inference path: the
+// fixed-point compilation of a trained actor must be a drop-in replacement
+// for the float network *inside the control loop*, not just on i.i.d.
+// states. Over the same seeded random scenarios as the invariant sweep,
+// each seed runs twice with all-Astraea flows — once on the float actor
+// with a quantized shadow evaluating every decision state (per-decision
+// divergence on the real closed-loop state distribution), once fully
+// quantized under the invariant Checker — and the two runs' utilization
+// and Jain fairness must agree within tolerance.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// quantFixture distills one small actor (imitating the reference policy, so
+// its closed-loop behaviour is sane) and compiles it, once per test binary.
+var quantFixture struct {
+	once sync.Once
+	fp   *core.MLPPolicy
+	qp   *core.QuantizedPolicy
+	err  error
+}
+
+// quantPolicies returns the shared float actor and its quantized
+// compilation. Callers must ClonePolicy before using either in a scenario:
+// the sweep runs scenarios in parallel and policies keep private scratch.
+func quantPolicies(t *testing.T) (*core.MLPPolicy, *core.QuantizedPolicy) {
+	t.Helper()
+	quantFixture.once.Do(func() {
+		cfg := core.DefaultConfig()
+		net, _ := core.DistillPolicy(cfg, core.DistillOptions{
+			Samples: 6000, Epochs: 10, Batch: 64, LR: 0.003,
+			Hidden: []int{64, 64}, Seed: 1,
+		})
+		fp := &core.MLPPolicy{Net: net}
+		qp, err := core.QuantizeMLPPolicy(fp, cfg)
+		quantFixture.fp, quantFixture.qp, quantFixture.err = fp, qp, err
+	})
+	if quantFixture.err != nil {
+		t.Fatal(quantFixture.err)
+	}
+	return quantFixture.fp, quantFixture.qp
+}
+
+// quantSeedResult aggregates one seed's paired runs.
+type quantSeedResult struct {
+	worstDelta   float64 // max |float action − quantized action| on the float trajectory
+	utilF, utilQ float64
+	jainF, jainQ float64
+	violations   []string
+}
+
+// jain computes Jain's fairness index over the flows' average throughputs.
+func jain(res *runner.Result) float64 {
+	var sum, sumSq float64
+	for _, fr := range res.Flows {
+		sum += fr.AvgTputBps
+		sumSq += fr.AvgTputBps * fr.AvgTputBps
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(res.Flows)) * sumSq)
+}
+
+// astraeaScenario regenerates the seeded random scenario with every flow
+// slot driven by an Astraea agent running mk()'s policy. Regenerating (vs
+// copying) gives each run a fresh queue-discipline instance.
+func astraeaScenario(seed int64, mk func(flow int) *core.Agent) runner.Scenario {
+	sc := NewGenerator(seed).Scenario()
+	if sc.Duration > 3 {
+		sc.Duration = 3
+	}
+	for i := range sc.Flows {
+		sc.Flows[i].Scheme = ""
+		sc.Flows[i].CC = mk(i)
+	}
+	return sc
+}
+
+// runQuantSeed runs one seed's paired float/quantized scenarios.
+func runQuantSeed(seed int64, fp *core.MLPPolicy, qp *core.QuantizedPolicy) (quantSeedResult, error) {
+	cfg := core.DefaultConfig()
+	var out quantSeedResult
+
+	// Float-driven run with a quantized shadow: the trajectory is exactly
+	// the float policy's, and every decision state it visits is also pushed
+	// through a quantized clone, so divergence is measured on the state
+	// distribution the deployed controller actually sees.
+	scF := astraeaScenario(seed, func(int) *core.Agent {
+		a := core.NewAgent(cfg, core.ClonePolicy(fp))
+		shadow := core.ClonePolicy(qp)
+		a.ActionOverride = func(state []float64, act float64) float64 {
+			if d := math.Abs(shadow.Action(state) - act); d > out.worstDelta {
+				out.worstDelta = d
+			}
+			return act
+		}
+		return a
+	})
+	resF, err := runner.Run(scF)
+	if err != nil {
+		return out, fmt.Errorf("seed %d float run: %w", seed, err)
+	}
+
+	// Fully quantized run under the invariant checker.
+	scQ := astraeaScenario(seed, func(int) *core.Agent {
+		return core.NewAgent(cfg, core.ClonePolicy(qp))
+	})
+	c := NewChecker()
+	c.Attach(&scQ)
+	resQ, err := runner.Run(scQ)
+	if err != nil {
+		return out, fmt.Errorf("seed %d quantized run: %w", seed, err)
+	}
+	if c.Events() == 0 {
+		return out, fmt.Errorf("seed %d: checker inspected zero events — harness unhooked", seed)
+	}
+	for _, v := range c.Finish(resQ) {
+		out.violations = append(out.violations, fmt.Sprintf("seed %d (quantized): %s", seed, v))
+	}
+
+	out.utilF, out.utilQ = resF.Utilization, resQ.Utilization
+	out.jainF, out.jainQ = jain(resF), jain(resQ)
+	return out, nil
+}
+
+// TestQuantizedClosedLoopEquivalence is the acceptance sweep for serving
+// quantized by default: across the seeded scenario sweep, (1) per-decision
+// divergence on float-driven trajectories stays bounded, (2) the quantized
+// controller violates no simulator invariant, and (3) utilization and Jain
+// fairness of the paired runs agree within gates — the control behaviour,
+// not just the arithmetic, is preserved.
+//
+// Gate provenance (measured over the full 220-seed sweep): per-decision
+// divergence max 0.111 (mean 0.059); |Δutilization| max 0.088, mean 0.003;
+// |ΔJain| max 0.210, mean 0.005. A control experiment replacing the
+// quantized run with the float policy plus a uniform +0.01 action
+// perturbation moved utilization up to 0.109 and Jain up to 0.343 (means
+// 0.004/0.012) on the same seeds — short multi-flow scenarios are
+// chaotically sensitive to any action change, and quantization sits BELOW
+// that noise floor on every aggregate. Per-seed gates carry ~1.5× margin
+// over the measured max; the mean gates are the tight ones, catching
+// systematic drift that per-seed chaos allowances cannot.
+func TestQuantizedClosedLoopEquivalence(t *testing.T) {
+	n := sweepSize
+	if testing.Short() {
+		n = 16
+	}
+	fp, qp := quantPolicies(t)
+
+	var mu sync.Mutex
+	var all []string
+	var worstDelta, worstUtil, worstJain, sumUtil, sumJain float64
+	err := runner.ForEach(n, 0, func(i int) error {
+		r, err := runQuantSeed(int64(i), fp, qp)
+		if err != nil {
+			return err
+		}
+		dUtil := math.Abs(r.utilF - r.utilQ)
+		dJain := math.Abs(r.jainF - r.jainQ)
+		mu.Lock()
+		defer mu.Unlock()
+		all = append(all, r.violations...)
+		if r.worstDelta > worstDelta {
+			worstDelta = r.worstDelta
+		}
+		if dUtil > worstUtil {
+			worstUtil = dUtil
+		}
+		if dJain > worstJain {
+			worstJain = dJain
+		}
+		sumUtil += dUtil
+		sumJain += dJain
+		if r.worstDelta > 0.15 {
+			all = append(all, fmt.Sprintf("seed %d: per-decision divergence %.5f > 0.15", i, r.worstDelta))
+		}
+		if dUtil > 0.15 {
+			all = append(all, fmt.Sprintf("seed %d: utilization moved %.4f (float %.4f, quantized %.4f)",
+				i, dUtil, r.utilF, r.utilQ))
+		}
+		if dJain > 0.35 {
+			all = append(all, fmt.Sprintf("seed %d: Jain fairness moved %.4f (float %.4f, quantized %.4f)",
+				i, dJain, r.jainF, r.jainQ))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanUtil, meanJain := sumUtil/float64(n), sumJain/float64(n)
+	t.Logf("%d seeds: worst per-decision |Δaction| %.5f, |Δutilization| max %.4f mean %.4f, |ΔJain| max %.4f mean %.4f",
+		n, worstDelta, worstUtil, meanUtil, worstJain, meanJain)
+	if meanUtil > 0.01 {
+		all = append(all, fmt.Sprintf("mean |Δutilization| %.4f > 0.01 — systematic throughput drift", meanUtil))
+	}
+	if meanJain > 0.02 {
+		all = append(all, fmt.Sprintf("mean |ΔJain| %.4f > 0.02 — systematic fairness drift", meanJain))
+	}
+	if len(all) > 0 {
+		for i, v := range all {
+			if i >= 40 {
+				t.Errorf("... and %d more", len(all)-40)
+				break
+			}
+			t.Error(v)
+		}
+		t.Fatalf("%d equivalence failures across %d seeds", len(all), n)
+	}
+}

@@ -137,7 +137,7 @@ func TestEncoderDecoderRoundTrip(t *testing.T) {
 		var ops []op
 		e := &Encoder{}
 		for i := 0; i < 1+rnd.Intn(30); i++ {
-			switch k := rnd.Intn(7); k {
+			switch k := rnd.Intn(9); k {
 			case 0:
 				v := rnd.Uint64()
 				e.Uint64(v)
@@ -173,6 +173,20 @@ func TestEncoderDecoderRoundTrip(t *testing.T) {
 				}
 				e.Ints(v)
 				ops = append(ops, op{k, v})
+			case 7:
+				v := make([]int16, rnd.Intn(25))
+				for j := range v {
+					v[j] = int16(rnd.Intn(1 << 16))
+				}
+				e.Int16s(v)
+				ops = append(ops, op{k, v})
+			case 8:
+				v := make([]int32, rnd.Intn(25))
+				for j := range v {
+					v[j] = int32(rnd.Uint64())
+				}
+				e.Int32s(v)
+				ops = append(ops, op{k, v})
 			}
 		}
 		d := NewDecoder(e.Payload())
@@ -204,6 +218,16 @@ func TestEncoderDecoderRoundTrip(t *testing.T) {
 			case 6:
 				got = d.Ints()
 				if len(got.([]int)) == 0 && len(o.val.([]int)) == 0 {
+					continue
+				}
+			case 7:
+				got = d.Int16s()
+				if len(got.([]int16)) == 0 && len(o.val.([]int16)) == 0 {
+					continue
+				}
+			case 8:
+				got = d.Int32s()
+				if len(got.([]int32)) == 0 && len(o.val.([]int32)) == 0 {
 					continue
 				}
 			}
@@ -240,6 +264,27 @@ func TestDecoderRejectsImplausibleLength(t *testing.T) {
 	d := NewDecoder(e.Payload())
 	if v := d.Float64s(); v != nil || d.Err() == nil {
 		t.Fatalf("implausible length accepted: %v, %v", v, d.Err())
+	}
+}
+
+func TestFixedWidthSlicesRejectTruncation(t *testing.T) {
+	e := &Encoder{}
+	e.Int16s([]int16{1, -2, 3})
+	e.Int32s([]int32{4, -5, 6})
+	full := e.Payload()
+	d := NewDecoder(full)
+	d.Int16s()
+	d.Int32s()
+	if err := d.Finish(); err != nil {
+		t.Fatalf("full payload: %v", err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		d := NewDecoder(full[:len(full)-cut])
+		d.Int16s()
+		d.Int32s()
+		if d.Err() == nil {
+			t.Fatalf("truncation by %d bytes decoded cleanly", cut)
+		}
 	}
 }
 

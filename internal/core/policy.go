@@ -70,6 +70,35 @@ func SavePolicy(path string, net *nn.MLP) error {
 	return ckpt.WriteAtomic(path, data, 0o644)
 }
 
+// validatePolicyShape checks a loaded actor's I/O widths against cfg. It is
+// the single source of truth for dimension validation — LoadPolicy and the
+// quantized loaders all reject a mismatched artifact with the identical
+// error, so operators see one message regardless of which format was
+// mis-deployed.
+func validatePolicyShape(path string, inDim, outDim int, cfg Config) error {
+	if want := cfg.StateDim(); inDim != want {
+		return fmt.Errorf("core: policy %s expects %d-wide states, config produces %d (HistoryLen %d × %d features)",
+			path, inDim, want, cfg.HistoryLen, LocalFeatureDim)
+	}
+	if outDim != 1 {
+		return fmt.Errorf("core: policy %s emits %d outputs, want 1 action", path, outDim)
+	}
+	return nil
+}
+
+// parsePolicyWeights decodes JSON actor weights and validates them against
+// cfg; path is used only in error messages.
+func parsePolicyWeights(data []byte, path string, cfg Config) (*MLPPolicy, error) {
+	var net nn.MLP
+	if err := json.Unmarshal(data, &net); err != nil {
+		return nil, fmt.Errorf("core: parse policy %s: %w", path, err)
+	}
+	if err := validatePolicyShape(path, net.InDim(), net.OutDim(), cfg); err != nil {
+		return nil, err
+	}
+	return &MLPPolicy{Net: &net}, nil
+}
+
 // LoadPolicy reads JSON weights saved by SavePolicy and validates the
 // network against cfg: an actor whose input width does not match
 // cfg.StateDim(), or that does not emit exactly one action, is rejected
@@ -79,18 +108,7 @@ func LoadPolicy(path string, cfg Config) (*MLPPolicy, error) {
 	if err != nil {
 		return nil, err
 	}
-	var net nn.MLP
-	if err := json.Unmarshal(data, &net); err != nil {
-		return nil, fmt.Errorf("core: parse policy %s: %w", path, err)
-	}
-	if got, want := net.InDim(), cfg.StateDim(); got != want {
-		return nil, fmt.Errorf("core: policy %s expects %d-wide states, config produces %d (HistoryLen %d × %d features)",
-			path, got, want, cfg.HistoryLen, LocalFeatureDim)
-	}
-	if got := net.OutDim(); got != 1 {
-		return nil, fmt.Errorf("core: policy %s emits %d outputs, want 1 action", path, got)
-	}
-	return &MLPPolicy{Net: &net}, nil
+	return parsePolicyWeights(data, path, cfg)
 }
 
 // ReferencePolicy is the distilled rendering of the converged Astraea

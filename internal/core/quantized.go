@@ -1,0 +1,155 @@
+// Quantized policy deployment: the glue between nn's fixed-point compiler
+// and the serving stack. A trained actor (JSON float weights) is compiled
+// with QuantizeMLPPolicy against a calibration sweep of plausible stacked
+// states, persisted as a CRC-sealed binary blob (SaveQuantizedPolicy /
+// cmd/astraea-quantize), and loaded back by LoadQuantizedPolicy or — format
+// sniffed — by LoadServingPolicy, which is what the serve daemons use. The
+// float path stays available behind LoadServingPolicy's quantize=false as
+// the equivalence oracle (internal/check pins the two within tolerance on
+// the 220-seed sweep).
+
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/ckpt"
+	"repro/internal/nn"
+)
+
+// QuantizedPolicy wraps a fixed-point compiled actor. It is the default
+// serving form: ~4x smaller parameters than the float net and a forward
+// pass that is several times faster (see DESIGN.md §12), with actions that
+// match the float oracle within the closed-loop tolerance gates.
+type QuantizedPolicy struct {
+	Q *nn.QuantizedMLP
+}
+
+// Action implements Policy, clamping to the action range like MLPPolicy.
+func (p *QuantizedPolicy) Action(state []float64) float64 {
+	a := p.Q.Forward(state)[0]
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	return a
+}
+
+// ClonePolicy implements PolicyCloner: the compiled arrays are immutable
+// and shared; each clone gets private evaluation scratch, so sharded
+// evaluators run clones concurrently without copies of the weights.
+func (p *QuantizedPolicy) ClonePolicy() Policy {
+	return &QuantizedPolicy{Q: p.Q.Clone()}
+}
+
+// calibrationStates builds the quantization calibration sweep: n plausible
+// stacked states from the distillation sampler (fixed seed — quantizing the
+// same net twice yields bitwise-identical artifacts) plus two corner
+// states: all features at their operating bounds, and all zeros. The bounds
+// frame keeps every per-feature range wide enough that no state the
+// transport can produce saturates the input quantizer (the quantizer holds
+// 2× headroom above the corner). Per feature the corner is its tightest
+// real bound, because input resolution is 2^14 steps over the corner value:
+// TputRatio ≤ 1 by construction (tput/thrmax); MaxTput 2 covers links to
+// 2×TputScale; MinLat 8 covers 800 ms base RTTs; InflightRatio ≈ 1 except
+// transiently after a cwnd cut. LatRatio, RelCwnd, LossRatio and
+// PacingRatio have no physical bound short of the upstream featureCap
+// clamp — startup states routinely push PacingRatio past small corners
+// (pacing/thrmax with thrmax still tiny), so those four calibrate to the
+// cap itself.
+func calibrationStates(cfg Config, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	cal := make([][]float64, 0, n+2)
+	for i := 0; i < n; i++ {
+		cal = append(cal, sampleState(cfg, rng))
+	}
+	bounds := LocalState{
+		TputRatio: 2, MaxTput: 2, LatRatio: featureCap, MinLat: 8,
+		RelCwnd: featureCap, LossRatio: featureCap, InflightRatio: 4,
+		PacingRatio: featureCap,
+	}
+	hi := make([]float64, 0, cfg.StateDim())
+	for w := 0; w < cfg.HistoryLen; w++ {
+		hi = append(hi, bounds.Vector()...)
+	}
+	return append(cal, hi, make([]float64, cfg.StateDim()))
+}
+
+// SampleCalibrationState draws one plausible stacked state from the
+// distillation sampler — the distribution quantization calibrates against.
+// Exposed for tools (cmd/astraea-quantize) that replay a sweep through both
+// policy forms to report divergence before deploying an artifact.
+func SampleCalibrationState(cfg Config, rng *rand.Rand) []float64 {
+	return sampleState(cfg, rng)
+}
+
+// QuantizeMLPPolicy compiles a float actor into its fixed-point serving
+// form, calibrated against sampled stacked states for cfg. The compilation
+// is deterministic: the same weights and config always produce the same
+// artifact.
+func QuantizeMLPPolicy(p *MLPPolicy, cfg Config) (*QuantizedPolicy, error) {
+	q, err := nn.Quantize(p.Net, nn.QuantizeOptions{Calibration: calibrationStates(cfg, 512)})
+	if err != nil {
+		return nil, fmt.Errorf("core: quantize policy: %w", err)
+	}
+	return &QuantizedPolicy{Q: q}, nil
+}
+
+// SaveQuantizedPolicy writes the compiled policy to path as a CRC-sealed
+// binary blob, atomically — the deployable artifact cmd/astraea-quantize
+// emits and astraea-serve hot-reloads.
+func SaveQuantizedPolicy(path string, p *QuantizedPolicy) error {
+	return ckpt.WriteAtomic(path, p.Q.QuantizedBlob(), 0o644)
+}
+
+// LoadQuantizedPolicyBytes decodes a quantized-policy blob (as written by
+// SaveQuantizedPolicy) and validates its shape against cfg with the same
+// rules and error text as LoadPolicy; name appears in errors.
+func LoadQuantizedPolicyBytes(blob []byte, name string, cfg Config) (*QuantizedPolicy, error) {
+	qm, err := nn.OpenQuantizedBlob(blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse quantized policy %s: %w", name, err)
+	}
+	if err := validatePolicyShape(name, qm.InDim(), qm.OutDim(), cfg); err != nil {
+		return nil, err
+	}
+	return &QuantizedPolicy{Q: qm}, nil
+}
+
+// LoadQuantizedPolicy reads a quantized-policy blob from path.
+func LoadQuantizedPolicy(path string, cfg Config) (*QuantizedPolicy, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadQuantizedPolicyBytes(blob, path, cfg)
+}
+
+// LoadServingPolicy loads a policy artifact for serving, sniffing the
+// format: a ckpt-sealed blob loads as the compiled quantized policy it
+// contains; JSON float weights load as an MLPPolicy and — when quantize is
+// true, the serving default — are compiled on the spot, so operators can
+// point the server at trainer output and still serve fixed-point.
+// quantize=false keeps the float network as loaded (the equivalence
+// oracle).
+func LoadServingPolicy(path string, cfg Config, quantize bool) (Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= len(ckpt.Magic) && string(data[:len(ckpt.Magic)]) == ckpt.Magic {
+		return LoadQuantizedPolicyBytes(data, path, cfg)
+	}
+	mp, err := parsePolicyWeights(data, path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !quantize {
+		return mp, nil
+	}
+	return QuantizeMLPPolicy(mp, cfg)
+}

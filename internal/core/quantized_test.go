@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// testActor builds a small random actor with the serving shape for cfg.
+func testActor(t *testing.T, cfg Config, seed int64) *MLPPolicy {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return &MLPPolicy{Net: nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 64, 32, 1)}
+}
+
+// TestQuantizedPolicyMatchesFloat pins open-loop action agreement between a
+// float actor and its compiled form across the calibration distribution —
+// the per-decision half of the equivalence story (internal/check covers the
+// closed loop).
+func TestQuantizedPolicyMatchesFloat(t *testing.T) {
+	cfg := DefaultConfig()
+	fp := testActor(t, cfg, 1)
+	qp, err := QuantizeMLPPolicy(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var worst float64
+	for i := 0; i < 2000; i++ {
+		s := sampleState(cfg, rng)
+		d := math.Abs(qp.Action(s) - fp.Action(s))
+		if d > worst {
+			worst = d
+		}
+	}
+	t.Logf("worst |Δaction| over 2000 sampled states: %.5f", worst)
+	if worst > 0.02 {
+		t.Fatalf("quantized policy diverges from float oracle by %.5f (> 0.02)", worst)
+	}
+}
+
+// TestQuantizeIsDeterministic: same weights + config must compile to a
+// byte-identical artifact, so redeploying a policy never produces a
+// different blob hash.
+func TestQuantizeIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	fp := testActor(t, cfg, 2)
+	a, err := QuantizeMLPPolicy(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuantizeMLPPolicy(&MLPPolicy{Net: fp.Net.Clone()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Q.QuantizedBlob()) != string(b.Q.QuantizedBlob()) {
+		t.Fatal("quantizing the same network twice produced different blobs")
+	}
+}
+
+// TestQuantizedPolicySaveLoadBitwise round-trips the blob through disk and
+// requires bitwise-identical actions (the pipeline is pure integer).
+func TestQuantizedPolicySaveLoadBitwise(t *testing.T) {
+	cfg := DefaultConfig()
+	qp, err := QuantizeMLPPolicy(testActor(t, cfg, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "actor.aqp")
+	if err := SaveQuantizedPolicy(path, qp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQuantizedPolicy(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		s := sampleState(cfg, rng)
+		if a, b := qp.Action(s), back.Action(s); a != b {
+			t.Fatalf("loaded policy diverges bitwise: %v vs %v", b, a)
+		}
+	}
+}
+
+// TestQuantizedPolicyActionZeroAllocs pins the serving hot path.
+func TestQuantizedPolicyActionZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	qp, err := QuantizeMLPPolicy(testActor(t, cfg, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampleState(cfg, rand.New(rand.NewSource(6)))
+	if n := testing.AllocsPerRun(100, func() { qp.Action(s) }); n != 0 {
+		t.Fatalf("Action allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestQuantizedPolicyCloneConcurrent: clones must evaluate independently
+// and identically — the property sharded serving relies on. Run under
+// -race this also proves the shared compiled arrays are read-only.
+func TestQuantizedPolicyCloneConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	qp, err := QuantizeMLPPolicy(testActor(t, cfg, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]float64, 64)
+	rng := rand.New(rand.NewSource(8))
+	want := make([]float64, len(states))
+	for i := range states {
+		states[i] = sampleState(cfg, rng)
+		want[i] = qp.Action(states[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		c := ClonePolicy(qp)
+		if c == Policy(qp) {
+			t.Fatal("ClonePolicy returned the original instance")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, s := range states {
+				if got := c.Action(s); got != want[i] {
+					t.Errorf("clone diverges on state %d: %v vs %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLoaderValidationParity is the bugfix regression: LoadPolicy and the
+// quantized loader must reject a dimension-mismatched artifact with the
+// IDENTICAL error text (modulo the artifact path), because they share
+// validatePolicyShape. A drift here means an operator debugging a
+// mis-deployed policy sees two different stories for one mistake.
+func TestLoaderValidationParity(t *testing.T) {
+	cfg := DefaultConfig()
+	for name, shape := range map[string][]int{
+		"wrong input width":  {cfg.StateDim() + 8, 16, 1},
+		"wrong output arity": {cfg.StateDim(), 16, 2},
+	} {
+		rng := rand.New(rand.NewSource(9))
+		net := nn.NewMLP(rng, nn.ReLU, nn.Tanh, shape...)
+
+		dirF, dirQ := t.TempDir(), t.TempDir()
+		pathF := filepath.Join(dirF, "actor")
+		pathQ := filepath.Join(dirQ, "actor")
+		if err := SavePolicy(pathF, net); err != nil {
+			t.Fatal(err)
+		}
+		qm, err := nn.Quantize(net, nn.QuantizeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pathQ, qm.QuantizedBlob(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		_, errF := LoadPolicy(pathF, cfg)
+		_, errQ := LoadQuantizedPolicy(pathQ, cfg)
+		if errF == nil || errQ == nil {
+			t.Fatalf("%s: float err %v, quantized err %v; want both non-nil", name, errF, errQ)
+		}
+		msgF := strings.ReplaceAll(errF.Error(), pathF, "PATH")
+		msgQ := strings.ReplaceAll(errQ.Error(), pathQ, "PATH")
+		if msgF != msgQ {
+			t.Errorf("%s: loaders disagree on the error:\n  float:     %s\n  quantized: %s", name, msgF, msgQ)
+		}
+	}
+}
+
+// TestLoadServingPolicySniffsFormat covers the deployment entry point: blob
+// → quantized, JSON + quantize → compiled on the spot, JSON + float flag →
+// float oracle, garbage → error.
+func TestLoadServingPolicySniffsFormat(t *testing.T) {
+	cfg := DefaultConfig()
+	fp := testActor(t, cfg, 10)
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "actor.json")
+	if err := SavePolicy(jsonPath, fp.Net); err != nil {
+		t.Fatal(err)
+	}
+	qp, err := QuantizeMLPPolicy(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobPath := filepath.Join(dir, "actor.aqp")
+	if err := SaveQuantizedPolicy(blobPath, qp); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := LoadServingPolicy(blobPath, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*QuantizedPolicy); !ok {
+		t.Fatalf("blob loaded as %T, want *QuantizedPolicy", p)
+	}
+	p, err = LoadServingPolicy(jsonPath, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, ok := p.(*QuantizedPolicy)
+	if !ok {
+		t.Fatalf("JSON + quantize loaded as %T, want *QuantizedPolicy", p)
+	}
+	p, err = LoadServingPolicy(jsonPath, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*MLPPolicy); !ok {
+		t.Fatalf("JSON + float loaded as %T, want *MLPPolicy", p)
+	}
+
+	// Quantize-on-load must equal the precompiled artifact bitwise
+	// (deterministic compilation), so both deployment styles serve the
+	// same actions.
+	rng := rand.New(rand.NewSource(11))
+	pre, err := LoadQuantizedPolicy(blobPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s := sampleState(cfg, rng)
+		if a, b := pre.Action(s), fromJSON.Action(s); a != b {
+			t.Fatalf("precompiled and quantize-on-load disagree: %v vs %v", b, a)
+		}
+	}
+
+	badPath := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(badPath, []byte("not a policy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadServingPolicy(badPath, cfg, true); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+}

@@ -27,11 +27,16 @@ func ExpFigure16(o Opts) []*Table {
 		state[i] = rng.Float64()
 	}
 
-	// Part (a): single-decision latency.
+	// Part (a): single-decision latency, float actor vs its fixed-point
+	// compilation (the serving default; DESIGN.md §12).
 	ta := &Table{
 		ID:      "fig16a",
 		Title:   "Per-decision inference cost (256/128/64 MLP actor)",
 		Columns: []string{"metric", "value"},
+	}
+	qpolicy, err := core.QuantizeMLPPolicy(policy, cfg)
+	if err != nil {
+		panic(err) // shape is valid by construction
 	}
 	const reps = 2000
 	start := time.Now()
@@ -39,12 +44,20 @@ func ExpFigure16(o Opts) []*Table {
 		policy.Action(state)
 	}
 	perInfer := time.Since(start) / reps
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		qpolicy.Action(state)
+	}
+	perInferQ := time.Since(start) / reps
 	ta.Rows = append(ta.Rows,
-		[]string{"per_inference", perInfer.String()},
-		[]string{"decisions_per_core_per_sec", fmt.Sprintf("%.0f", float64(time.Second)/float64(perInfer))},
+		[]string{"per_inference_float", perInfer.String()},
+		[]string{"per_inference_quantized", perInferQ.String()},
+		[]string{"quantized_speedup", f2(float64(perInfer) / float64(perInferQ))},
+		[]string{"decisions_per_core_per_sec_float", fmt.Sprintf("%.0f", float64(time.Second)/float64(perInfer))},
+		[]string{"decisions_per_core_per_sec_quantized", fmt.Sprintf("%.0f", float64(time.Second)/float64(perInferQ))},
 		[]string{"decisions_needed_per_flow_per_sec(MTP 30ms)", "33"},
 	)
-	ta.Note = "paper: Astraea's C++ service cuts CPU 30% vs Orca; here the analogous contrast is part (b)"
+	ta.Note = "paper: Astraea's C++ service cuts CPU 30% vs Orca; the quantized rows are this repo's deployment-form saving on top (part (b) contrasts the serving architectures)"
 
 	// Part (b): serving architectures under concurrency.
 	tb := &Table{

@@ -1,0 +1,550 @@
+// Fixed-point compilation of trained policies.
+//
+// Quantize compiles a float64 MLP into a QuantizedMLP: int16 weights, int32
+// accumulators, and power-of-two activation scales chosen from a calibration
+// sweep, with all per-layer rescaling folded into one integer multiply-shift.
+// The compiled forward pass is branch-light, allocation-free, and fully
+// deterministic (pure integer arithmetic plus a fixed tanh table), mirroring
+// the in-kernel deployment of the original system (tcp_astraea.c runs the
+// same policy shape in u32/u64 shift arithmetic).
+//
+// # Representation
+//
+// Inputs are quantized per feature: feature i is scaled by inScale[i] =
+// 2^inputQBits / a_i, where a_i is the calibrated absolute maximum of that
+// feature, and the compensating a_i factor is folded into the first layer's
+// float weights before they are quantized. Every feature therefore spends
+// the full int16 range on its own calibrated span, with 2x headroom before
+// saturation.
+//
+// Hidden and output activations live in int16 with a per-layer Q-format
+// chosen from calibrated ranges (2x margin, saturating beyond). A layer
+// computes
+//
+//	acc  = Σ_i wq[o,i]·xq[i] + bq[o]            (int32, provably no wrap)
+//	t    = (acc·mult + rnd) >> shift            (int64 requantization)
+//	out  = act(sat16(t))                        (int16 lane)
+//
+// where mult/shift encode Sout/(sw·Sin) to 30 significant bits. ReLU is the
+// branch-free mask v &^ (v>>31); Tanh is a 1025-entry Q12→Q14 interpolated
+// lookup table covering [-8, 8] (beyond which tanh is 1 to within the
+// output resolution).
+//
+// The multiply-accumulate work runs through a tiled kernel over weights
+// padded to 16-column × 4-row tiles: SSE2 PMADDWD on amd64 (eight
+// int16×int16→int32 pairwise products per instruction, baseline on every
+// amd64 so no feature detection), a blocked-scalar loop elsewhere — the
+// int16 layout is what makes that instruction applicable at all, and is
+// where the ≥4× speedup over the float64 path comes from.
+//
+// # Why the int32 accumulator cannot wrap
+//
+// The per-layer weight scale sw is capped so that the worst-case row sum —
+// every input pinned at the int16 extreme 32768 — plus the quantized bias
+// and rounding slack stays within int31:
+//
+//	32768·(sw·maxRowL1 + in/2) + sw·Sin·maxB + 1 ≤ 2^31 − 1
+//
+// (the in/2 term bounds per-weight rounding, the +1 the bias rounding).
+// DecodeQuantized re-checks the realized inequality Σ_i|wq[o,i]|·32768 +
+// |bq[o]| ≤ 2^31−1 for every row, so the guarantee holds for hostile blobs
+// too, not only for nets we quantized ourselves.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// inputQBits is the Q-format of quantized inputs in calibrated units: a
+// feature at its calibrated maximum maps to 2^inputQBits = 16384, leaving
+// 2x headroom in int16 before saturation.
+const inputQBits = 14
+
+// tanhQBits is the fixed Q-format of the tanh lookup argument: Q12 spans
+// [-8, 8) across the int16 range, and tanh saturates to ±1 within output
+// resolution outside it.
+const tanhQBits = 12
+
+// tanhOutBits is the Q-format of tanh outputs: Q14 represents ±1.0 exactly
+// as ±16384 with interpolation headroom in int16.
+const tanhOutBits = 14
+
+const (
+	int16Min = -32768
+	int16Max = 32767
+	// accBound is the inclusive |accumulator| budget: int32 values never
+	// exceed it, so the int32 sum cannot wrap.
+	accBound = math.MaxInt32 - 1
+)
+
+// tanhTab holds tanh sampled at 1024 steps of 1/64 across [-8, 8] in Q14;
+// entry 1024 closes the final interpolation interval.
+var tanhTab = func() [1025]int16 {
+	var t [1025]int16
+	for k := range t {
+		x := -8.0 + float64(k)/64.0
+		t[k] = int16(math.Round(math.Tanh(x) * (1 << tanhOutBits)))
+	}
+	return t
+}()
+
+// quantLayer is one compiled layer: offsets into the flat weight/bias
+// arrays plus the precomputed requantization constants.
+type quantLayer struct {
+	in, out       int
+	padIn, padOut int // kernel dims: in padded to 16 cols, out to 4 rows
+	act           Activation
+	wOff, bOff    int   // offsets into the canonical (codec) arrays
+	kOff          int   // offset into the padded kernel weight array
+	mult          int64 // requantization multiplier, ∈ [0, 2^30]
+	rnd           int64 // rounding bias, 1 << (shift-1)
+	shift         uint8 // requantization shift, ∈ [1, 62]
+	outBits       int8  // Q-format of this layer's int16 output
+}
+
+// QuantizedMLP is the fixed-point compiled form of a trained MLP: flat
+// int16 weights, int32 biases, and precomputed per-layer requantization
+// constants. Forward runs in pure integer arithmetic with zero allocations.
+//
+// The compiled arrays are immutable after Quantize/DecodeQuantized, so
+// Clone shares them and duplicates only the scratch buffers; a QuantizedMLP
+// is not safe for concurrent use, but clones evaluate independently.
+type QuantizedMLP struct {
+	layers  []quantLayer
+	weights []int16 // canonical row-major weights (what the codec carries)
+	biases  []int32
+	inScale []float64 // per-feature input quantization scale
+	outInv  float64   // final dequantization factor, 2^-outBits of last layer
+	kernelW []int16   // padded row-major weights fed to the matvec kernel
+
+	// scratch (per instance; everything above is shared across clones)
+	bufA, bufB []int16
+	acc        []int32
+	out        []float64
+}
+
+// QuantizeOptions configures Quantize.
+type QuantizeOptions struct {
+	// Calibration supplies representative inputs used to size the
+	// fixed-point ranges: per-feature input spans and per-layer activation
+	// Q-formats. Every sample must have the network's input width. When
+	// empty, a deterministic synthetic sweep over [-1,1] and [-8,8] is
+	// used; callers that know the serving distribution (core does) should
+	// pass real samples for tighter formats.
+	Calibration [][]float64
+}
+
+// Quantize compiles m into its fixed-point form. m is read, not modified.
+// The calibration sweep (opts.Calibration or a deterministic default) picks
+// per-feature input scales and per-layer activation ranges with 2x
+// saturation margin; weight scales are then capped so int32 accumulators
+// provably cannot wrap (see the package comment for the inequality).
+func Quantize(m *MLP, opts QuantizeOptions) (*QuantizedMLP, error) {
+	if m == nil || len(m.Layers) == 0 {
+		return nil, fmt.Errorf("nn: cannot quantize an empty model")
+	}
+	in := m.InDim()
+	cal := opts.Calibration
+	if len(cal) == 0 {
+		cal = defaultCalibration(in)
+	}
+	for k, s := range cal {
+		if len(s) != in {
+			return nil, fmt.Errorf("nn: calibration sample %d has %d features, model wants %d", k, len(s), in)
+		}
+	}
+
+	// Calibrated ranges: per-feature input maxima and per-layer output
+	// maxima, from float forward passes.
+	aIn := make([]float64, in)
+	aOut := make([]float64, len(m.Layers))
+	for _, s := range cal {
+		for i, v := range s {
+			if av := math.Abs(v); av > aIn[i] && !math.IsInf(av, 1) {
+				aIn[i] = av
+			}
+		}
+		m.Forward(s)
+		for li := range m.Layers {
+			for _, v := range m.acts[li+1] {
+				if av := math.Abs(v); av > aOut[li] && !math.IsInf(av, 1) {
+					aOut[li] = av
+				}
+			}
+		}
+	}
+
+	q := &QuantizedMLP{inScale: make([]float64, in)}
+	for i, a := range aIn {
+		if a < 1e-9 {
+			a = 1e-9 // dead feature: any scale works, avoid dividing by zero
+		}
+		q.inScale[i] = math.Ldexp(1, inputQBits) / a
+	}
+
+	// Compile layer by layer. Sin is the uniform scale of the current
+	// layer's quantized input (a power of two by construction).
+	sin := math.Ldexp(1, inputQBits)
+	for li, l := range m.Layers {
+		// Effective float weights: layer 0 folds the per-feature input
+		// normalization (x_i quantized in units of a_i) into its columns.
+		w := l.W
+		if li == 0 {
+			w = make([]float64, len(l.W))
+			for o := 0; o < l.Out; o++ {
+				for i := 0; i < l.In; i++ {
+					w[o*l.In+i] = l.W[o*l.In+i] * math.Ldexp(1, inputQBits) / q.inScale[i]
+				}
+			}
+		}
+
+		var maxW, maxRowL1, maxB float64
+		for o := 0; o < l.Out; o++ {
+			var rowL1 float64
+			for i := 0; i < l.In; i++ {
+				av := math.Abs(w[o*l.In+i])
+				rowL1 += av
+				if av > maxW {
+					maxW = av
+				}
+			}
+			if rowL1 > maxRowL1 {
+				maxRowL1 = rowL1
+			}
+		}
+		for _, b := range l.B {
+			if av := math.Abs(b); av > maxB {
+				maxB = av
+			}
+		}
+
+		// Weight scale: as large as int16 representation allows, capped so
+		// the worst-case accumulator stays within int31 (no-wrap proof in
+		// the package comment).
+		sw := math.Inf(1)
+		if maxW > 0 {
+			sw = (int16Max - 1) / maxW
+		}
+		if den := 32768*maxRowL1 + sin*maxB; den > 0 {
+			if lim := (float64(accBound) - 1 - 16384*float64(l.In)) / den; lim < sw {
+				sw = lim
+			}
+		}
+		if !(sw > 0) || math.IsInf(sw, 1) {
+			sw = 1 // all-zero layer: representation is exact at any scale
+		}
+
+		wq := make([]int16, len(w))
+		for i, v := range w {
+			wq[i] = satRound16(v * sw)
+		}
+		bq := make([]int32, len(l.B))
+		for o, b := range l.B {
+			bq[o] = satRound32(b * sw * sin)
+		}
+
+		// Output representation and the requantization constants mapping
+		// accumulator units (sw·Sin) onto it.
+		var outBits int8
+		var target float64
+		if l.Act == Tanh {
+			outBits = tanhOutBits
+			target = math.Ldexp(1, tanhQBits) // LUT argument is Q12
+		} else {
+			outBits = chooseBits(2 * aOut[li])
+			target = math.Ldexp(1, int(outBits))
+		}
+		mult, shift := requantParams(target / (sw * sin))
+
+		q.layers = append(q.layers, quantLayer{
+			in: l.In, out: l.Out, act: l.Act,
+			wOff: len(q.weights), bOff: len(q.biases),
+			mult: mult, rnd: int64(1) << (shift - 1), shift: shift,
+			outBits: outBits,
+		})
+		q.weights = append(q.weights, wq...)
+		q.biases = append(q.biases, bq...)
+		sin = math.Ldexp(1, int(outBits))
+	}
+
+	q.finish()
+	if err := q.checkAccBounds(); err != nil {
+		return nil, err // unreachable by construction; kept as a hard guard
+	}
+	return q, nil
+}
+
+// finish derives the padded kernel layout, scratch buffers, and the output
+// dequantization factor from the compiled canonical form. The matvec kernel
+// consumes weights padded to 16-column × 4-row tiles; padding weights are
+// zero, so whatever stale int16s sit in the padded tail of an activation
+// buffer contribute exactly nothing.
+func (q *QuantizedMLP) finish() {
+	kernelLen, maxDim, maxAcc := 0, 0, 0
+	for i := range q.layers {
+		l := &q.layers[i]
+		l.padIn = (l.in + 15) &^ 15
+		l.padOut = (l.out + 3) &^ 3
+		l.kOff = kernelLen
+		kernelLen += l.padIn * l.padOut
+		if l.padIn > maxDim {
+			maxDim = l.padIn
+		}
+		if l.padOut > maxDim {
+			maxDim = l.padOut
+		}
+		if l.padOut > maxAcc {
+			maxAcc = l.padOut
+		}
+	}
+	q.kernelW = make([]int16, kernelLen)
+	for _, l := range q.layers {
+		for o := 0; o < l.out; o++ {
+			copy(q.kernelW[l.kOff+o*l.padIn:], q.weights[l.wOff+o*l.in:l.wOff+(o+1)*l.in])
+		}
+	}
+	q.bufA = make([]int16, maxDim)
+	q.bufB = make([]int16, maxDim)
+	q.acc = make([]int32, maxAcc)
+	q.out = make([]float64, q.layers[len(q.layers)-1].out)
+	q.outInv = math.Ldexp(1, -int(q.layers[len(q.layers)-1].outBits))
+}
+
+// checkAccBounds verifies the realized no-wrap inequality for every output
+// row: Σ|wq|·32768 + |bq| ≤ 2^31−1. Quantize guarantees it by construction;
+// DecodeQuantized enforces it on hostile blobs.
+func (q *QuantizedMLP) checkAccBounds() error {
+	for li, l := range q.layers {
+		for o := 0; o < l.out; o++ {
+			var sum int64
+			row := q.weights[l.wOff+o*l.in : l.wOff+(o+1)*l.in]
+			for _, w := range row {
+				if w < 0 {
+					sum -= int64(w)
+				} else {
+					sum += int64(w)
+				}
+			}
+			sum *= 32768
+			b := int64(q.biases[l.bOff+o])
+			if b < 0 {
+				b = -b
+			}
+			if sum+b > math.MaxInt32 {
+				return fmt.Errorf("nn: quantized layer %d row %d can overflow its accumulator (weight mass %d)", li, o, sum+b)
+			}
+		}
+	}
+	return nil
+}
+
+// InDim returns the input width.
+func (q *QuantizedMLP) InDim() int { return q.layers[0].in }
+
+// OutDim returns the output width.
+func (q *QuantizedMLP) OutDim() int { return q.layers[len(q.layers)-1].out }
+
+// NumLayers returns the layer count.
+func (q *QuantizedMLP) NumLayers() int { return len(q.layers) }
+
+// ParamBytes returns the byte footprint of the compiled parameters (int16
+// weights + int32 biases), the number that decides cache residency under
+// sharded serving.
+func (q *QuantizedMLP) ParamBytes() int { return 2*len(q.weights) + 4*len(q.biases) }
+
+// Clone returns an independently evaluable copy sharing the immutable
+// compiled arrays; only the scratch buffers are duplicated. Use one clone
+// per goroutine.
+func (q *QuantizedMLP) Clone() *QuantizedMLP {
+	c := *q
+	c.bufA = make([]int16, len(q.bufA))
+	c.bufB = make([]int16, len(q.bufB))
+	c.acc = make([]int32, len(q.acc))
+	c.out = make([]float64, len(q.out))
+	return &c
+}
+
+// Forward evaluates the compiled network. The returned slice is scratch
+// owned by the QuantizedMLP (valid until the next call); the pass performs
+// no allocations. Inputs beyond 2x their calibrated range saturate; NaN
+// quantizes to zero.
+func (q *QuantizedMLP) Forward(x []float64) []float64 {
+	if len(x) != q.layers[0].in {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), q.layers[0].in))
+	}
+	cur, nxt := q.bufA, q.bufB
+	for i, v := range x {
+		cur[i] = satRound16(v * q.inScale[i])
+	}
+	for li := range q.layers {
+		l := &q.layers[li]
+		// All multiply-accumulate work happens in the tiled int16×int16→
+		// int32 kernel (PMADDWD on amd64, blocked scalar elsewhere); every
+		// partial lane is bounded by its subset of the row's L1 budget, so
+		// no intermediate can wrap (see checkAccBounds).
+		matvecQ15(q.kernelW[l.kOff:], cur, q.acc, l.padOut>>2, l.padIn)
+		bs := q.biases[l.bOff : l.bOff+l.out]
+		for o := 0; o < l.out; o++ {
+			acc := q.acc[o] + bs[o]
+			t := (int64(acc)*l.mult + l.rnd) >> l.shift
+			if t > int16Max {
+				t = int16Max
+			} else if t < int16Min {
+				t = int16Min
+			}
+			v := int32(t)
+			switch l.act {
+			case ReLU:
+				v &^= v >> 31
+			case Tanh:
+				v = tanhQ12(v)
+			}
+			nxt[o] = int16(v)
+		}
+		cur, nxt = nxt, cur
+	}
+	last := &q.layers[len(q.layers)-1]
+	for o := 0; o < last.out; o++ {
+		q.out[o] = float64(cur[o]) * q.outInv
+	}
+	return q.out
+}
+
+// tanhQ12 evaluates tanh on a Q12 argument (int16 range spans [-8, 8)) by
+// linear interpolation over tanhTab, returning Q14.
+func tanhQ12(v int32) int32 {
+	u := v + 32768 // 0..65535
+	idx := u >> 6  // 0..1023
+	frac := u & 63
+	lo := int32(tanhTab[idx])
+	return lo + (int32(tanhTab[idx+1])-lo)*frac>>6
+}
+
+// satRound16 rounds to the nearest int16, saturating at the type bounds and
+// mapping NaN to zero.
+func satRound16(v float64) int16 {
+	if !(v > float64(int16Min)) { // also catches NaN
+		if v != v {
+			return 0
+		}
+		return int16Min
+	}
+	if v > float64(int16Max) {
+		return int16Max
+	}
+	return int16(math.Round(v))
+}
+
+// satRound32 rounds to the nearest int32, saturating one short of the type
+// bounds (the bias budget in the accumulator inequality).
+func satRound32(v float64) int32 {
+	if !(v > float64(-accBound)) {
+		if v != v {
+			return 0
+		}
+		return -accBound
+	}
+	if v > float64(accBound) {
+		return accBound
+	}
+	return int32(math.Round(v))
+}
+
+// chooseBits picks the largest Q-format whose span covers amax, clamped to
+// the range the codec accepts.
+func chooseBits(amax float64) int8 {
+	if !(amax > 0) {
+		return 15
+	}
+	b := int(math.Floor(math.Log2(float64(int16Max) / amax)))
+	if b > 15 {
+		b = 15
+	}
+	if b < -16 {
+		b = -16
+	}
+	return int8(b)
+}
+
+// requantParams encodes ratio as mult/2^shift with mult ∈ [0, 2^30] and
+// shift ∈ [1, 62], the fixed-point form of the accumulator→activation
+// rescaling. Degenerate ratios (non-positive, NaN, or ≥ 2^29, which only a
+// pathological net can produce) saturate deterministically; the int16 lane
+// clamp bounds the damage.
+func requantParams(ratio float64) (int64, uint8) {
+	if !(ratio > 0) || math.IsInf(ratio, 1) {
+		return 0, 1
+	}
+	frac, exp := math.Frexp(ratio) // ratio = frac·2^exp, frac ∈ [0.5, 1)
+	shift := 30 - exp
+	if shift < 1 {
+		return math.MaxInt32, 1
+	}
+	mult := int64(math.Round(frac * (1 << 30)))
+	for shift > 62 {
+		mult >>= 1
+		shift--
+	}
+	if mult == 0 {
+		return 0, 1
+	}
+	return mult, uint8(shift)
+}
+
+// matvecQ15Generic is the portable tiled int16 mat-vec kernel: rows4 groups
+// of four padded rows against one padded activation vector, int32 results.
+// It is the reference the amd64 PMADDWD kernel is differentially tested
+// against (both are exact integer arithmetic, so they agree bitwise), and
+// the implementation used on other architectures. The four row accumulators
+// share each loaded activation, so the scalar loop runs at roughly one load
+// per multiply instead of two.
+func matvecQ15Generic(w, x []int16, acc []int32, rows4, cols16 int) {
+	for g := 0; g < rows4; g++ {
+		base := g * 4 * cols16
+		r0 := w[base : base+cols16]
+		r1 := w[base+cols16 : base+2*cols16]
+		r2 := w[base+2*cols16 : base+3*cols16]
+		r3 := w[base+3*cols16 : base+4*cols16]
+		xx := x[:cols16]
+		var a0, a1, a2, a3 int32
+		for i := range xx {
+			xv := int32(xx[i])
+			a0 += int32(r0[i]) * xv
+			a1 += int32(r1[i]) * xv
+			a2 += int32(r2[i]) * xv
+			a3 += int32(r3[i]) * xv
+		}
+		acc[4*g] = a0
+		acc[4*g+1] = a1
+		acc[4*g+2] = a2
+		acc[4*g+3] = a3
+	}
+}
+
+// defaultCalibration synthesizes a deterministic input sweep for callers
+// that do not know the serving distribution: xorshift-uniform samples at
+// unit and 8x amplitude. core passes real sampled states instead.
+func defaultCalibration(in int) [][]float64 {
+	const n = 288
+	s := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / (1 << 53)
+	}
+	cal := make([][]float64, n)
+	for k := range cal {
+		amp := 1.0
+		if k%4 == 3 {
+			amp = 8
+		}
+		row := make([]float64, in)
+		for i := range row {
+			row[i] = (2*next() - 1) * amp
+		}
+		cal[k] = row
+	}
+	return cal
+}

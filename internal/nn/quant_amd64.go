@@ -1,0 +1,16 @@
+//go:build amd64
+
+package nn
+
+// matvecQ15 dispatches to the SSE2 PMADDWD kernel (quant_amd64.s). PMADDWD
+// is baseline amd64, so no feature detection is needed; it performs eight
+// int16×int16 multiplies with pairwise int32 adds per instruction — the
+// instruction quantized inference layouts exist for. Each SIMD lane
+// accumulates a disjoint column subset of a row, so the row-L1 accumulator
+// bound (checkAccBounds) covers every intermediate lane value too.
+func matvecQ15(w, x []int16, acc []int32, rows4, cols16 int) {
+	matvecQ15SSE(&w[0], &x[0], &acc[0], rows4, cols16)
+}
+
+//go:noescape
+func matvecQ15SSE(w, x *int16, acc *int32, rows4, cols16 int)

@@ -1,0 +1,99 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func matvecQ15SSE(w, x *int16, acc *int32, rows4, cols16 int)
+//
+// Tiled int16 matrix-vector product: rows4 groups of four weight rows
+// (each cols16 int16s, cols16 a multiple of 16) against one activation
+// vector, writing 4*rows4 int32 results to acc.
+//
+// Per 16-column step each row issues two PMADDWL (eight int16×int16
+// products with pairwise int32 adds each) and two PADDD into its four-lane
+// accumulator. Lanes accumulate disjoint column subsets, so the caller's
+// row-L1 bound (Σ|w|·32768 + |b| ≤ 2^31−1) guarantees no lane ever wraps.
+TEXT ·matvecQ15SSE(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), SI
+	MOVQ x+8(FP), DX
+	MOVQ acc+16(FP), DI
+	MOVQ rows4+24(FP), CX
+	MOVQ cols16+32(FP), BX
+	MOVQ BX, R8
+	SHLQ $1, R8               // R8 = row stride in bytes
+
+rowloop:
+	PXOR X4, X4               // row 0 accumulator
+	PXOR X5, X5               // row 1
+	PXOR X6, X6               // row 2
+	PXOR X7, X7               // row 3
+	MOVQ DX, R9               // activation cursor
+	MOVQ SI, R10              // row 0 cursor
+	LEAQ (SI)(R8*1), R11      // row 1
+	LEAQ (SI)(R8*2), R12      // row 2
+	LEAQ (R11)(R8*2), R13     // row 3
+	MOVQ BX, AX               // columns remaining
+
+colloop:
+	MOVOU (R9), X0            // x[0:8]
+	MOVOU 16(R9), X1          // x[8:16]
+
+	MOVOU (R10), X2
+	PMADDWL X0, X2
+	PADDD X2, X4
+	MOVOU 16(R10), X2
+	PMADDWL X1, X2
+	PADDD X2, X4
+
+	MOVOU (R11), X2
+	PMADDWL X0, X2
+	PADDD X2, X5
+	MOVOU 16(R11), X2
+	PMADDWL X1, X2
+	PADDD X2, X5
+
+	MOVOU (R12), X2
+	PMADDWL X0, X2
+	PADDD X2, X6
+	MOVOU 16(R12), X2
+	PMADDWL X1, X2
+	PADDD X2, X6
+
+	MOVOU (R13), X2
+	PMADDWL X0, X2
+	PADDD X2, X7
+	MOVOU 16(R13), X2
+	PMADDWL X1, X2
+	PADDD X2, X7
+
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	SUBQ $16, AX
+	JNE  colloop
+
+	// Transpose-reduce the four 4-lane accumulators into one register and
+	// store all four row sums with a single 16-byte write. (Per-row 4-byte
+	// stores are a trap here: Go's assembler has no 32-bit XMM store — MOVD
+	// emits MOVQ, whose 8-byte write would run past the end of acc on the
+	// final group.)
+	MOVO      X4, X0
+	PUNPCKLLQ X5, X0          // [a0 b0 a1 b1]
+	PUNPCKHLQ X5, X4          // [a2 b2 a3 b3]
+	PADDD     X0, X4          // [a02 b02 a13 b13]
+	MOVO      X6, X1
+	PUNPCKLLQ X7, X1          // [c0 d0 c1 d1]
+	PUNPCKHLQ X7, X6          // [c2 d2 c3 d3]
+	PADDD     X1, X6          // [c02 d02 c13 d13]
+	MOVO      X4, X2
+	PUNPCKLQDQ X6, X2         // [a02 b02 c02 d02]
+	PUNPCKHQDQ X6, X4         // [a13 b13 c13 d13]
+	PADDD     X2, X4          // [sumA sumB sumC sumD]
+	MOVOU     X4, (DI)
+
+	ADDQ $16, DI
+	LEAQ (SI)(R8*4), SI       // advance four rows
+	DECQ CX
+	JNE  rowloop
+	RET

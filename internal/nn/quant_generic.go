@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package nn
+
+// matvecQ15 falls back to the portable blocked-scalar kernel on
+// architectures without a hand-written SIMD path. Results are bitwise
+// identical to the amd64 kernel (exact integer arithmetic either way).
+func matvecQ15(w, x []int16, acc []int32, rows4, cols16 int) {
+	matvecQ15Generic(w, x, acc, rows4, cols16)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceDetectorEnabled lets wall-clock performance assertions skip under the
+// race detector, whose instrumentation slowdown makes timing contrasts
+// meaningless.
+const raceDetectorEnabled = true

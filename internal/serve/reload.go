@@ -10,13 +10,15 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Reloader hot-swaps the served policy from a weights file written by
-// core.SavePolicy. Reload validates the file against the serving config
-// before swapping (a half-trained or wrong-dimension actor is rejected and
-// the previous policy keeps serving), then bumps the server's version
-// counter. Because SavePolicy writes atomically (temp + fsync + rename via
-// internal/ckpt), a watcher can never observe a torn file: every snapshot
-// it picks up is one the trainer finished writing.
+// Reloader hot-swaps the served policy from a policy artifact on disk —
+// JSON weights written by core.SavePolicy or a quantized blob written by
+// core.SaveQuantizedPolicy / cmd/astraea-quantize. Reload validates the
+// file against the serving config before swapping (a half-trained or
+// wrong-dimension actor is rejected and the previous policy keeps serving),
+// then bumps the server's version counter. Because both writers are atomic
+// (temp + fsync + rename via internal/ckpt), a watcher can never observe a
+// torn file: every snapshot it picks up is one the trainer finished
+// writing.
 //
 // Two triggers share the same Reload path: an explicit call (the serve
 // daemon wires SIGHUP to it) and the mtime/size poller started by Watch.
@@ -27,6 +29,14 @@ type Reloader struct {
 
 	// Interval is the Watch polling period (default 500ms).
 	Interval time.Duration
+
+	// Quantize selects the serving form for JSON weight snapshots: when
+	// true (the default from NewReloader), each reload compiles the float
+	// actor to its fixed-point form before swapping, so hot reloads serve
+	// the same representation the daemon booted with. Precompiled blob
+	// artifacts always serve quantized regardless. The serve daemon's
+	// -float flag clears it to keep the float oracle path.
+	Quantize bool
 
 	mReloads *telemetry.Counter
 	mErrors  *telemetry.Counter
@@ -42,10 +52,12 @@ type Reloader struct {
 }
 
 // NewReloader builds a reloader for srv serving the policy at path,
-// validated against cfg.
+// validated against cfg. Reloads quantize JSON snapshots by default; clear
+// Quantize before the first Reload/Watch to serve float weights as loaded.
 func NewReloader(srv *Server, path string, cfg core.Config) *Reloader {
 	r := &Reloader{srv: srv, path: path, cfg: cfg, Interval: 500 * time.Millisecond,
-		stop: make(chan struct{}), done: make(chan struct{})}
+		Quantize: true,
+		stop:     make(chan struct{}), done: make(chan struct{})}
 	if st, err := os.Stat(path); err == nil {
 		// Baseline: the daemon loaded this snapshot at boot; only a later
 		// write should trigger a reload.
@@ -60,10 +72,11 @@ func (r *Reloader) Instrument(reg *telemetry.Registry) {
 	r.mErrors = reg.Counter("serve_reload_errors_total", "rejected policy reloads (unreadable or invalid weights)")
 }
 
-// Reload loads and validates the weights file and swaps it in, returning
-// the new policy version. On error the served policy is unchanged.
+// Reload loads and validates the policy artifact (JSON weights or a
+// quantized blob, sniffed by format) and swaps it in, returning the new
+// policy version. On error the served policy is unchanged.
 func (r *Reloader) Reload() (uint32, error) {
-	p, err := core.LoadPolicy(r.path, r.cfg)
+	p, err := core.LoadServingPolicy(r.path, r.cfg, r.Quantize)
 	if err != nil {
 		r.mErrors.Inc()
 		return r.srv.PolicyVersion(), fmt.Errorf("serve: reload %s: %w", r.path, err)

@@ -50,6 +50,10 @@ func newReloadableServer(t *testing.T, path string, reg *telemetry.Registry) (*S
 		srv.Instrument(reg)
 	}
 	rl := NewReloader(srv, path, cfg)
+	// These tests pin float-path reload semantics bitwise (actions must equal
+	// math.Tanh of the bias exactly); reload_quant_test.go covers the
+	// quantized default.
+	rl.Quantize = false
 	if reg != nil {
 		rl.Instrument(reg)
 	}

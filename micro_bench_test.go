@@ -118,6 +118,25 @@ func BenchmarkMLPPolicyInference(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantizedPolicyInference is the fixed-point counterpart of
+// BenchmarkMLPPolicyInference on the identical network shape — the pair
+// behind the speedup table in DESIGN.md §12.
+func BenchmarkQuantizedPolicyInference(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 256, 128, 64, 1)
+	p, err := core.QuantizeMLPPolicy(&core.MLPPolicy{Net: net}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := make([]float64, cfg.StateDim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Action(state)
+	}
+}
+
 func BenchmarkTD3Update(b *testing.B) {
 	b.ReportAllocs()
 	cfg := rl.DefaultConfig(40, core.GlobalFeatureDim, 1)

@@ -45,6 +45,32 @@ wait "$SERVE_PID" || { echo "ci: astraea-serve drain was not clean"; cat "$SMOKE
 grep -q "drained after" "$SMOKE/serve.log" || { echo "ci: no drain line"; cat "$SMOKE/serve.log"; exit 1; }
 if grep -q "RACE" "$SMOKE/serve.log"; then echo "ci: race detected in serve smoke"; cat "$SMOKE/serve.log"; exit 1; fi
 
+# Deployment-artifact smoke: the full quantize→serve lifecycle through the
+# real binaries — distill an actor, compile it with astraea-quantize, boot
+# the race-built server on the blob (the quantized default path), drive it,
+# and require a clean drain. Catches artifact-format or loader drift that
+# package tests, which call the Go APIs directly, would miss.
+go build -o "$SMOKE/astraea-train" ./cmd/astraea-train
+go build -o "$SMOKE/astraea-quantize" ./cmd/astraea-quantize
+"$SMOKE/astraea-train" -mode distill -samples 4000 -epochs 3 \
+    -out "$SMOKE/actor.json" >/dev/null
+# The trimmed distillation leaves a rougher actor than the documented
+# default budget (which passes the tool's 0.02 default gate), so open the
+# divergence gate here: this smoke tests the artifact lifecycle, and
+# accuracy is gated by TestQuantizedClosedLoopEquivalence below.
+"$SMOKE/astraea-quantize" -in "$SMOKE/actor.json" -out "$SMOKE/actor.aqp" -tol 0.1
+"$SMOKE/astraea-serve" -listen tcp:127.0.0.1:0 -policy "$SMOKE/actor.aqp" -shards 2 \
+    -addr-file "$SMOKE/qaddr" >"$SMOKE/qserve.log" 2>&1 &
+QSERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE/qaddr" ] && break; sleep 0.1; done
+[ -s "$SMOKE/qaddr" ] || { echo "ci: quantized astraea-serve never bound"; cat "$SMOKE/qserve.log"; exit 1; }
+grep -q "serving quantized policy" "$SMOKE/qserve.log" || { echo "ci: blob did not serve quantized"; cat "$SMOKE/qserve.log"; exit 1; }
+"$SMOKE/astraea-loadgen" -addr "$(head -1 "$SMOKE/qaddr")" \
+    -rate 2000 -duration 1s -flows -out "$SMOKE/qload.json"
+kill -INT "$QSERVE_PID"
+wait "$QSERVE_PID" || { echo "ci: quantized serve drain was not clean"; cat "$SMOKE/qserve.log"; exit 1; }
+if grep -q "RACE" "$SMOKE/qserve.log"; then echo "ci: race detected in quantized serve smoke"; cat "$SMOKE/qserve.log"; exit 1; fi
+
 # Coverage summary: per-package statement coverage plus the total, so a PR
 # that guts a test file shows up as a number, not a feeling.
 go test -coverprofile="$COVER" ./... >/dev/null
@@ -64,10 +90,11 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 # the parsers/decoders (the committed corpora under testdata/fuzz replay in
 # plain `go test` runs above; this adds fresh mutation on top).
 FUZZTIME=${FUZZTIME:-10s}
-go test -fuzz=FuzzCkptDecode  -fuzztime="$FUZZTIME" -run=NONE ./internal/ckpt
-go test -fuzz=FuzzCodecRead   -fuzztime="$FUZZTIME" -run=NONE ./internal/nn
-go test -fuzz=FuzzTraceParse  -fuzztime="$FUZZTIME" -run=NONE ./internal/trace
-go test -fuzz=FuzzLoadPolicy  -fuzztime="$FUZZTIME" -run=NONE ./internal/core
+go test -fuzz=FuzzCkptDecode      -fuzztime="$FUZZTIME" -run=NONE ./internal/ckpt
+go test -fuzz=FuzzCodecRead       -fuzztime="$FUZZTIME" -run=NONE ./internal/nn
+go test -fuzz=FuzzQuantizedDecode -fuzztime="$FUZZTIME" -run=NONE ./internal/nn
+go test -fuzz=FuzzTraceParse      -fuzztime="$FUZZTIME" -run=NONE ./internal/trace
+go test -fuzz=FuzzLoadPolicy      -fuzztime="$FUZZTIME" -run=NONE ./internal/core
 
 # The checkpoint/resume bitwise-determinism guarantee gets its own named
 # race pass so a regression is attributable at a glance (the full-tree
@@ -78,6 +105,10 @@ go test -race -run TestResumeDeterminismBitwise ./internal/env
 # Reproduce a failing seed with:
 #   go test ./internal/check -run TestRandomScenarioInvariants -seed=N
 go test -race -run TestRandomScenarioInvariants ./internal/check
+# Quantized-equivalence sweep under the race detector, named so a fixed-
+# point regression (divergent actions, moved fairness/throughput, or a
+# kernel race) is attributable at a glance.
+go test -race -run TestQuantizedClosedLoopEquivalence ./internal/check
 # The race pass needs a generous timeout: the experiment suite and the
 # parallel learner run full simulations under the detector's ~10x slowdown.
 go test -race -timeout 60m ./...

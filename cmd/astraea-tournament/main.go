@@ -1,0 +1,106 @@
+// Command astraea-tournament runs every registered congestion-control
+// scheme through a fixed grid of scenario families (incast fan-in,
+// oscillating bandwidth, steady dumbbell, lossy path) and ranks them by
+// throughput × Jain fairness × delay — the Astraea reward axes. Each
+// family pins one deterministic scenario per scheme, so a cell isolates
+// the controller; the grid fans across the batch pool and the ranking is
+// byte-identical for any worker count.
+//
+// Examples:
+//
+//	astraea-tournament                              # full grid, report under results/
+//	astraea-tournament -schemes cubic,bbr,astraea -flows 16
+//	astraea-tournament -families incast,oscillating -duration 2 -check
+//
+// Writes results/tournament.json (full cells + ranking) and
+// results/tournament.txt (the table printed to stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/tournament"
+)
+
+func main() {
+	schemes := flag.String("schemes", "", "comma-separated schemes to enter (default: all registered)")
+	familiesFlag := flag.String("families", "", fmt.Sprintf("comma-separated families (default: all of %v)", tournament.FamilyNames()))
+	flows := flag.Int("flows", 8, "flows per scenario")
+	duration := flag.Float64("duration", 5, "seconds of simulated time per scenario")
+	seed := flag.Int64("seed", 1, "base seed; each family offsets it deterministically")
+	workers := flag.Int("workers", 0, "batch pool size (0 = GOMAXPROCS)")
+	out := flag.String("out", "results", "output directory for tournament.json and tournament.txt")
+	checkFlag := flag.Bool("check", false, "attach the invariant checker to every cell and report violation counts")
+	flag.Parse()
+
+	cfg := tournament.Config{
+		Schemes:  splitList(*schemes),
+		Families: splitList(*familiesFlag),
+		Flows:    *flows,
+		Duration: *duration,
+		Seed:     *seed,
+		Workers:  *workers,
+		Check:    *checkFlag,
+	}
+
+	rep, err := tournament.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-tournament:", err)
+		if strings.Contains(err.Error(), "scheme") {
+			fmt.Fprintf(os.Stderr, "registered schemes: %v\n", cc.Names())
+		}
+		os.Exit(1)
+	}
+
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-tournament:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		if err := writeReport(rep, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-tournament:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
+			filepath.Join(*out, "tournament.json"), filepath.Join(*out, "tournament.txt"))
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+func writeReport(rep *tournament.Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, "tournament.json"))
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := rep.WriteJSON(jf); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, "tournament.txt"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	return rep.WriteTable(tf)
+}

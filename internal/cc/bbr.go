@@ -33,6 +33,13 @@ type BBR struct {
 
 var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
 
+// blindStartupCwndCap bounds cwnd growth while the bandwidth filter is
+// empty (no delivery feedback at all). 512 packets covers the largest
+// startup BDP the emulated paths present (hundreds of Mbps × hundreds of
+// ms would still be bootstrapped within a few feedback RTTs) while keeping
+// a black-holed flow's blind bursts finite.
+const blindStartupCwndCap = 512
+
 // NewBBR returns a BBR instance.
 func NewBBR() *BBR {
 	return &BBR{
@@ -158,8 +165,15 @@ func (b *BBR) OnMTP(f *transport.Flow, st transport.MTPStats) {
 		}
 		f.SetCwnd(cwnd)
 	} else if bw == 0 {
-		// No samples yet: keep exponential startup via cwnd growth.
-		f.SetCwnd(f.Cwnd() * 1.5)
+		// No samples yet: keep exponential startup via cwnd growth, but only
+		// up to a bootstrap ceiling. Blind growth exists to bridge the gap
+		// before the first ack on long paths; without the ceiling, a flow
+		// whose packets all drop (incast black hole: queue permanently full)
+		// would double its window every MTP forever, emitting unbounded
+		// blind bursts that scale superlinearly with competing flow count.
+		if w := f.Cwnd() * 1.5; w < blindStartupCwndCap {
+			f.SetCwnd(w)
+		}
 	}
 	f.ScheduleMTP(math.Max(0.005, math.Min(rt/4, 0.05)))
 }

@@ -51,10 +51,27 @@ const maxRecorded = 32
 // Checker watches one scenario run and records invariant violations. Attach
 // it before runner.Run; it is not safe to share across scenarios or
 // goroutines (build one per run).
+//
+// Per-flow checks are incremental: a flow's conservation identity and cwnd
+// floor can only change at its send/ack/loss/cwnd mutation points, all of
+// which fire a transport hook, so the checker marks the flow dirty there
+// and re-checks only dirty flows after each event. The cost per event is
+// O(flows touched by the event) — almost always 0 or 1 — instead of the
+// full-population scan that made event dispatch O(flows) and a whole run
+// O(flows²). Finish closes the residual gap with one last full sweep:
+// conservation breaches are persistent, so anything a hook-less mutation
+// corrupted is still caught before the verdict. Set Exhaustive to restore
+// the every-flow-every-event scan (differential tests and benchmarks).
 type Checker struct {
 	sim   *sim.Simulator
 	links []*netem.Link
 	flows []*checkedFlow
+	dirty []*checkedFlow
+
+	// Exhaustive re-checks every flow after every event (the original
+	// O(flows) behavior) instead of only flows marked dirty by their hooks.
+	// The verdict is identical either way — see TestIncrementalCheckerDifferential.
+	Exhaustive bool
 
 	lastNow    float64
 	events     uint64
@@ -66,6 +83,7 @@ type checkedFlow struct {
 	id      int
 	f       *transport.Flow
 	baseRTT float64 // two-way propagation for this flow's path
+	dirty   bool
 }
 
 // NewChecker returns an empty checker; wire it to a scenario with Attach.
@@ -106,10 +124,40 @@ func (c *Checker) Attach(sc *runner.Scenario) {
 		prevAck := f.OnAckHook
 		f.OnAckHook = func(e transport.AckEvent) {
 			c.checkAck(cf, e)
+			c.markDirty(cf)
 			if prevAck != nil {
 				prevAck(e)
 			}
 		}
+		prevSend := f.OnSendHook
+		f.OnSendHook = func(now float64, bytes int) {
+			c.markDirty(cf)
+			if prevSend != nil {
+				prevSend(now, bytes)
+			}
+		}
+		prevLoss := f.OnLossHook
+		f.OnLossHook = func(e transport.LossEvent) {
+			c.markDirty(cf)
+			if prevLoss != nil {
+				prevLoss(e)
+			}
+		}
+		prevCwnd := f.OnCwndHook
+		f.OnCwndHook = func(now, cwnd float64) {
+			c.markDirty(cf)
+			if prevCwnd != nil {
+				prevCwnd(now, cwnd)
+			}
+		}
+	}
+}
+
+// markDirty queues cf for re-checking at the end of the current event.
+func (c *Checker) markDirty(cf *checkedFlow) {
+	if !cf.dirty {
+		cf.dirty = true
+		c.dirty = append(c.dirty, cf)
 	}
 }
 
@@ -160,23 +208,41 @@ func (c *Checker) onEvent() {
 		}
 	}
 
-	for _, cf := range c.flows {
-		f := cf.f
-		w := f.Cwnd()
-		if math.IsNaN(w) || w < 1 {
-			c.record("cwnd-floor", "flow %d cwnd %v below 1 segment", cf.id, w)
+	if c.Exhaustive {
+		for _, cf := range c.flows {
+			c.checkFlow(cf)
 		}
-		inflight := f.Inflight()
-		if inflight < 0 {
-			c.record("flow-conservation", "flow %d inflight negative: %d", cf.id, inflight)
+		for _, cf := range c.dirty {
+			cf.dirty = false
 		}
-		// Every sent byte is acknowledged, declared lost, or still
-		// outstanding — nothing vanishes, nothing is double-counted.
-		if got := f.DeliveredBytes + f.LostBytes + int64(inflight)*transport.MSS; f.SentBytes != got {
-			c.record("flow-conservation",
-				"flow %d: sent %d B != delivered %d + lost %d + inflight %d pkts",
-				cf.id, f.SentBytes, f.DeliveredBytes, f.LostBytes, inflight)
-		}
+		c.dirty = c.dirty[:0]
+		return
+	}
+	for _, cf := range c.dirty {
+		c.checkFlow(cf)
+		cf.dirty = false
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// checkFlow asserts one flow's per-event invariants against its current
+// state.
+func (c *Checker) checkFlow(cf *checkedFlow) {
+	f := cf.f
+	w := f.Cwnd()
+	if math.IsNaN(w) || w < 1 {
+		c.record("cwnd-floor", "flow %d cwnd %v below 1 segment", cf.id, w)
+	}
+	inflight := f.Inflight()
+	if inflight < 0 {
+		c.record("flow-conservation", "flow %d inflight negative: %d", cf.id, inflight)
+	}
+	// Every sent byte is acknowledged, declared lost, or still
+	// outstanding — nothing vanishes, nothing is double-counted.
+	if got := f.DeliveredBytes + f.LostBytes + int64(inflight)*transport.MSS; f.SentBytes != got {
+		c.record("flow-conservation",
+			"flow %d: sent %d B != delivered %d + lost %d + inflight %d pkts",
+			cf.id, f.SentBytes, f.DeliveredBytes, f.LostBytes, inflight)
 	}
 }
 
@@ -195,6 +261,13 @@ func (c *Checker) checkAck(cf *checkedFlow, e transport.AckEvent) {
 // Finish runs the end-of-run checks against the completed result and
 // returns all recorded violations. Call it exactly once, after runner.Run.
 func (c *Checker) Finish(res *runner.Result) []Violation {
+	// One last exhaustive sweep: conservation and floor breaches are
+	// persistent state properties, so a flow corrupted by a mutation that
+	// bypassed every hook (which incremental checking would only notice at
+	// its next hook) is still caught here.
+	for _, cf := range c.flows {
+		c.checkFlow(cf)
+	}
 	if res == nil {
 		return c.violations
 	}

@@ -1,0 +1,65 @@
+package check
+
+// Metamorphic fairness property: scaling the sender count at fixed
+// aggregate capacity must rescale each flow's share to capacity/n — the
+// bottleneck does not care how many ways its rate is split. A scheduler or
+// transport bug that favors early flows (or starves late ones) breaks this
+// even when every individual run looks plausible.
+//
+// Cubic's sawtooth never parks individual flows exactly on the fair share
+// (measured spread at 16 flows: 0.69×–1.44× fair), so the per-flow gate is
+// a no-starvation/no-domination band of ±2·fairShareTolerance while the
+// population-level gates are tight: mean share within 10% of capacity/n
+// (measured: exact) and Jain ≥ 0.93 (measured: ≥ 0.966).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+func TestMetamorphicFairShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run convergence test; run without -short")
+	}
+	const (
+		rate     = 80e6
+		duration = 10.0
+		// Shares are measured after convergence, over the tail of the run.
+		from = 4.0
+	)
+	for _, n := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("flows=%d", n), func(t *testing.T) {
+			sc := runner.Scenario{
+				Seed: 11, RateBps: rate, BaseRTT: 0.010, QueueBDP: 2,
+				Duration: duration,
+			}
+			for i := 0; i < n; i++ {
+				sc.Flows = append(sc.Flows, runner.FlowSpec{Scheme: "cubic"})
+			}
+			res := runner.MustRun(sc)
+
+			fair := rate / float64(n)
+			band := 2 * fairShareTolerance
+			shares := make([]float64, n)
+			var sum float64
+			for i, fr := range res.Flows {
+				shares[i] = fr.AvgTputWindow(from, duration)
+				sum += shares[i]
+				if dev := shares[i]/fair - 1; dev < -band || dev > band {
+					t.Errorf("flow %d share %.2f Mbps deviates %+.0f%% from fair share %.2f Mbps",
+						i, shares[i]/1e6, dev*100, fair/1e6)
+				}
+			}
+			if mean := sum / float64(n); mean < fair*0.9 || mean > fair*1.1 {
+				t.Errorf("mean share %.2f Mbps not within 10%% of fair share %.2f Mbps — "+
+					"aggregate did not rescale with sender count", mean/1e6, fair/1e6)
+			}
+			if j := metrics.Jain(shares); j < 0.93 {
+				t.Errorf("Jain index %.3f over converged window < 0.93", j)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// Scenario families beyond the generic dumbbell draw: many-to-one incast
+// fan-in (datacenter request/response traffic, the workload Tessler et al.
+// evaluate RL congestion control against) and oscillating-bandwidth links
+// (square-wave capacity, the adversarial variant of the cellular traces).
+// Both families run through runner.Run like any other scenario, so they
+// inherit the invariant checker, the differential harness, and the batch
+// engine for free.
+
+// IncastScenario draws a random many-to-one fan-in scenario: tens to
+// hundreds of senders share one aggregation link, arriving within a short
+// window, a fraction of them short "response" flows that stop early. Rates
+// and RTTs are datacenter-shaped (fast link, sub-10ms propagation), and
+// buffers are drawn shallow often enough that the full drop/RTO recovery
+// machinery stays under test.
+func (g *Generator) IncastScenario() runner.Scenario {
+	r := g.rng
+	sc := runner.Scenario{
+		Seed:     r.Int63(),
+		RateBps:  g.logUniform(50e6, 400e6),
+		BaseRTT:  g.logUniform(0.0005, 0.010),
+		Duration: 0.5 + r.Float64(),
+	}
+	if r.Float64() < 0.5 {
+		// Shallow switch buffer: the defining incast failure mode.
+		sc.QueueBDP = 0.5 + 1.5*r.Float64()
+	} else {
+		sc.QueueBDP = 2 + 6*r.Float64()
+	}
+	senders := 30 + r.Intn(271) // 30..300
+	window := 0.002 + 0.010*r.Float64()
+	for i := 0; i < senders; i++ {
+		spec := runner.FlowSpec{
+			Scheme: g.Schemes[r.Intn(len(g.Schemes))],
+			Start:  r.Float64() * window,
+		}
+		if r.Float64() < 0.3 {
+			// Short response flow: finishes (or times out) mid-run,
+			// exercising teardown with packets still queued.
+			spec.Duration = 0.05 + 0.3*r.Float64()
+		}
+		sc.Flows = append(sc.Flows, spec)
+	}
+	return sc
+}
+
+// OscillatingScenario draws a dumbbell whose bottleneck capacity follows a
+// square wave: full rate for half a period, a deep dip (10–60% of rate)
+// for the other half. Period spans sub-RTT flutter to multi-RTT swings, so
+// schemes see both fast fading and sustained capacity loss.
+func (g *Generator) OscillatingScenario() runner.Scenario {
+	r := g.rng
+	sc := runner.Scenario{
+		Seed:     r.Int63(),
+		RateBps:  g.logUniform(5e6, 60e6),
+		BaseRTT:  g.logUniform(0.005, 0.100),
+		Duration: 2 + 2*r.Float64(),
+		QueueBDP: 0.5 + 3*r.Float64(),
+	}
+	lo := sc.RateBps * (0.1 + 0.5*r.Float64())
+	period := g.logUniform(math.Max(sc.BaseRTT/2, 0.005), 1.0)
+	sc.Trace = trace.Step(lo, sc.RateBps, period, sc.Duration)
+	nFlows := 1 + r.Intn(4)
+	for i := 0; i < nFlows; i++ {
+		spec := runner.FlowSpec{
+			Scheme: g.Schemes[r.Intn(len(g.Schemes))],
+			Start:  r.Float64() * sc.Duration / 4,
+		}
+		if r.Float64() < 0.3 {
+			spec.ExtraDelay = g.logUniform(0.001, 0.030)
+		}
+		sc.Flows = append(sc.Flows, spec)
+	}
+	return sc
+}
+
+// FixedIncast builds a deterministic many-to-one scenario: senders flows
+// cycling through schemes (all one scheme when a single name is given),
+// starting within a 10ms window on a 200 Mbps / 2 ms aggregation link.
+// Benchmarks and the 500-flow CI run use it so their workload is pinned,
+// not generator-drawn.
+func FixedIncast(seed int64, senders int, duration float64, schemes ...string) runner.Scenario {
+	if len(schemes) == 0 {
+		schemes = []string{"cubic", "reno", "bbr", "vegas"}
+	}
+	sc := runner.Scenario{
+		Seed:     seed,
+		RateBps:  200e6,
+		BaseRTT:  0.002,
+		QueueBDP: 4,
+		Duration: duration,
+	}
+	for i := 0; i < senders; i++ {
+		sc.Flows = append(sc.Flows, runner.FlowSpec{
+			Scheme: schemes[i%len(schemes)],
+			Start:  0.001 * float64(i%10),
+		})
+	}
+	return sc
+}
+
+// fairShareTolerance documents the metamorphic fair-share gate: scaling
+// sender count at fixed capacity must keep the mean per-flow share within
+// this fraction of the ideal capacity/n split.
+const fairShareTolerance = 0.30

@@ -72,7 +72,16 @@ type Link struct {
 	cfg     LinkConfig
 	rateBps float64
 
+	// queue is a ring buffer (power-of-two capacity): qHead indexes the
+	// oldest waiting packet, qLen counts them. A plain append+reslice queue
+	// loses front capacity on every dequeue, so fan-in bursts (hundreds of
+	// flows dumping into one buffer) forced periodic reallocation and kept
+	// dead *Packet pointers reachable in the abandoned arrays; the ring
+	// reaches steady state with zero allocation and zeroes each slot on
+	// dequeue.
 	queue    []queued
+	qHead    int
+	qLen     int
 	qBytes   int
 	busy     bool
 	stats    LinkStats
@@ -134,7 +143,35 @@ func (l *Link) QueueBytes() int { return l.qBytes }
 
 // QueueLen returns the number of packets waiting in the queue (excluding
 // the packet in service).
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.qLen }
+
+// pushQueue appends item to the ring, growing it when full.
+func (l *Link) pushQueue(item queued) {
+	if l.qLen == len(l.queue) {
+		newCap := len(l.queue) * 2
+		if newCap == 0 {
+			newCap = 16
+		}
+		grown := make([]queued, newCap)
+		for i := 0; i < l.qLen; i++ {
+			grown[i] = l.queue[(l.qHead+i)&(len(l.queue)-1)]
+		}
+		l.queue, l.qHead = grown, 0
+	}
+	l.queue[(l.qHead+l.qLen)&(len(l.queue)-1)] = item
+	l.qLen++
+}
+
+// popQueue removes and returns the oldest waiting packet, zeroing its slot
+// so the ring retains no packet or callback pointers after the burst
+// drains.
+func (l *Link) popQueue() queued {
+	item := l.queue[l.qHead]
+	l.queue[l.qHead] = queued{}
+	l.qHead = (l.qHead + 1) & (len(l.queue) - 1)
+	l.qLen--
+	return item
+}
 
 // InService reports whether a packet is currently being serialized onto the
 // wire. Together with QueueLen and Stats it closes the link's conservation
@@ -166,7 +203,7 @@ func (l *Link) Send(p *Packet, next func(*Packet)) {
 	if m := l.Metrics; m != nil {
 		m.Enqueued.Inc()
 	}
-	l.queue = append(l.queue, queued{p, next, l.Sim.Now()})
+	l.pushQueue(queued{p, next, l.Sim.Now()})
 	l.qBytes += p.Size
 	if l.qBytes > l.maxQSeen {
 		l.maxQSeen = l.qBytes
@@ -177,13 +214,12 @@ func (l *Link) Send(p *Packet, next func(*Packet)) {
 }
 
 func (l *Link) serveNext() {
-	if len(l.queue) == 0 {
+	if l.qLen == 0 {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	item := l.queue[0]
-	l.queue = l.queue[1:]
+	item := l.popQueue()
 	l.qBytes -= item.p.Size
 	if l.OnQueueSample != nil {
 		l.OnQueueSample(l.Sim.Now(), l.qBytes)

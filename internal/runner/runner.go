@@ -68,7 +68,20 @@ type Scenario struct {
 	// private to this run (see RunBatchObserved); sharing one across
 	// concurrent runs is safe but makes workers contend on its atomics.
 	Telemetry *telemetry.Registry
+	// FlowTelemetryLimit caps how many flows receive individually-named
+	// instruments (runner_flow_<i>_*) on Telemetry. Flows beyond the cap
+	// fold into shared runner_flow_overflow_* aggregates, so a 1000-flow
+	// incast cannot explode registry cardinality. Zero selects
+	// DefaultFlowTelemetryLimit; negative disables per-flow instruments
+	// entirely (aggregates only).
+	FlowTelemetryLimit int
 }
+
+// DefaultFlowTelemetryLimit is the per-flow instrument cap applied when
+// Scenario.FlowTelemetryLimit is zero. 32 labeled flows cover every curated
+// experiment; scale sweeps beyond it pay one fixed trio of overflow
+// aggregates no matter how many flows they add.
+const DefaultFlowTelemetryLimit = 32
 
 // FlowResult holds everything recorded about one flow.
 type FlowResult struct {
@@ -152,6 +165,13 @@ func Run(sc Scenario) (*Result, error) {
 	res := &Result{Scenario: sc}
 	interval := sc.sampleInterval()
 	bins := int(math.Ceil(sc.Duration/interval)) + 1
+
+	// Registered before the per-flow finalizers so it runs after all of them
+	// (defers are LIFO): by then every FlowResult carries its final byte
+	// totals, ready to publish under the cardinality cap.
+	if sc.Telemetry != nil {
+		defer publishFlowTelemetry(&sc, res)
+	}
 
 	for i, spec := range sc.Flows {
 		ctrl := spec.CC
@@ -254,6 +274,41 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	simMillis.Add(int64(sc.Duration * 1000))
 	return res, nil
+}
+
+// publishFlowTelemetry records per-flow byte totals on the scenario's
+// registry, individually named for the first FlowTelemetryLimit flows and
+// folded into overflow aggregates beyond that. Registry cardinality is
+// therefore O(min(flows, limit)), not O(flows): a 1000-flow incast adds the
+// same handful of series as a 32-flow one.
+func publishFlowTelemetry(sc *Scenario, res *Result) {
+	reg := sc.Telemetry
+	limit := sc.FlowTelemetryLimit
+	if limit == 0 {
+		limit = DefaultFlowTelemetryLimit
+	}
+	var overflow int64
+	var overflowDelivered, overflowLost int64
+	for i, fr := range res.Flows {
+		if limit > 0 && i < limit {
+			reg.Counter(fmt.Sprintf("runner_flow_%d_delivered_bytes_total", i),
+				"bytes delivered by this flow").Add(fr.DeliveredBytes)
+			reg.Counter(fmt.Sprintf("runner_flow_%d_lost_bytes_total", i),
+				"bytes declared lost by this flow").Add(fr.LostBytes)
+			continue
+		}
+		overflow++
+		overflowDelivered += fr.DeliveredBytes
+		overflowLost += fr.LostBytes
+	}
+	if overflow > 0 {
+		reg.Counter("runner_flow_overflow_flows_total",
+			"flows beyond the per-flow telemetry cap, folded into aggregates").Add(overflow)
+		reg.Counter("runner_flow_overflow_delivered_bytes_total",
+			"bytes delivered by flows beyond the per-flow telemetry cap").Add(overflowDelivered)
+		reg.Counter("runner_flow_overflow_lost_bytes_total",
+			"bytes lost by flows beyond the per-flow telemetry cap").Add(overflowLost)
+	}
 }
 
 // MustRun panics on error; for tests and experiments with static configs.

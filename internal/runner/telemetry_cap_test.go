@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// fanIn builds an n-flow scenario cheap enough to run at 1000 flows: a slow
+// link and a short duration keep the packet count tiny while still creating
+// (and finishing) every flow.
+func fanIn(n int) Scenario {
+	sc := Scenario{
+		Seed: 3, RateBps: 20e6, BaseRTT: 0.005, QueueBDP: 4, Duration: 0.1,
+	}
+	for i := 0; i < n; i++ {
+		sc.Flows = append(sc.Flows, FlowSpec{Scheme: "reno", Start: 0.0001 * float64(i%100)})
+	}
+	return sc
+}
+
+func countByPrefix(reg *telemetry.Registry, prefix string) int {
+	n := 0
+	for _, m := range reg.Snapshot().Metrics {
+		if strings.HasPrefix(m.Name, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFlowTelemetryCardinalityBounded: registry size must not scale with
+// flow count. A 1000-flow incast gets the same number of series as a run at
+// exactly the cap, with flows beyond it folded into overflow aggregates.
+func TestFlowTelemetryCardinalityBounded(t *testing.T) {
+	atCap := telemetry.NewRegistry()
+	scA := fanIn(DefaultFlowTelemetryLimit)
+	scA.Telemetry = atCap
+	MustRun(scA)
+
+	big := telemetry.NewRegistry()
+	scB := fanIn(1000)
+	scB.Telemetry = big
+	MustRun(scB)
+
+	nA := len(atCap.Snapshot().Metrics)
+	nB := len(big.Snapshot().Metrics)
+	// The big run may add only the three fixed overflow aggregates.
+	if nB > nA+3 {
+		t.Fatalf("1000-flow registry has %d series vs %d at the cap — per-flow cardinality is unbounded", nB, nA)
+	}
+	if got := countByPrefix(big, "runner_flow_"); got != 2*DefaultFlowTelemetryLimit+3 {
+		t.Fatalf("per-flow series at 1000 flows: %d, want %d labeled + 3 overflow",
+			got, 2*DefaultFlowTelemetryLimit)
+	}
+	for _, name := range []string{
+		"runner_flow_overflow_flows_total",
+		"runner_flow_overflow_delivered_bytes_total",
+	} {
+		if countByPrefix(big, name) != 1 {
+			t.Errorf("missing overflow aggregate %s", name)
+		}
+	}
+}
+
+// TestFlowTelemetryLimitModes covers the explicit settings: a custom cap
+// labels exactly that many flows, and a negative cap labels none.
+func TestFlowTelemetryLimitModes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := fanIn(10)
+	sc.Telemetry = reg
+	sc.FlowTelemetryLimit = 4
+	MustRun(sc)
+	if got := countByPrefix(reg, "runner_flow_0_"); got != 2 {
+		t.Errorf("flow 0 series: %d, want 2", got)
+	}
+	if got := countByPrefix(reg, "runner_flow_4_"); got != 0 {
+		t.Errorf("flow 4 labeled despite limit 4")
+	}
+	if got := countByPrefix(reg, "runner_flow_overflow_"); got != 3 {
+		t.Errorf("overflow series: %d, want 3", got)
+	}
+
+	none := telemetry.NewRegistry()
+	sc2 := fanIn(10)
+	sc2.Telemetry = none
+	sc2.FlowTelemetryLimit = -1
+	MustRun(sc2)
+	if got := countByPrefix(none, "runner_flow_overflow_"); got != 3 {
+		t.Errorf("negative limit: overflow series %d, want 3", got)
+	}
+	total := countByPrefix(none, "runner_flow_")
+	if total != 3 {
+		t.Errorf("negative limit: %d runner_flow_ series, want only the 3 overflow aggregates", total)
+	}
+}
+
+// TestFlowTelemetryConservation: labeled plus overflow byte totals must
+// equal the per-flow results exactly — the cap folds flows, it does not
+// drop bytes.
+func TestFlowTelemetryConservation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := fanIn(50)
+	sc.Telemetry = reg
+	sc.FlowTelemetryLimit = 8
+	res := MustRun(sc)
+
+	var want int64
+	for _, fr := range res.Flows {
+		want += fr.DeliveredBytes
+	}
+	var got int64
+	for _, m := range reg.Snapshot().Metrics {
+		if strings.HasSuffix(m.Name, "_delivered_bytes_total") && strings.HasPrefix(m.Name, "runner_flow_") {
+			got += m.Count
+		}
+	}
+	if got != want {
+		t.Fatalf("telemetry delivered bytes %d != result total %d", got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package tournament
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// small returns a grid trimmed for test wall-clock but still covering every
+// registered scheme.
+func small() Config {
+	return Config{Families: []string{"incast", "oscillating"}, Flows: 3, Duration: 0.4, Seed: 9}
+}
+
+func TestTournamentCoversAllRegisteredSchemes(t *testing.T) {
+	rep, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := cc.Names()
+	if len(rep.Ranking) != len(all) {
+		t.Fatalf("ranking has %d schemes, registry has %d", len(rep.Ranking), len(all))
+	}
+	ranked := make(map[string]bool, len(rep.Ranking))
+	for i, st := range rep.Ranking {
+		ranked[st.Scheme] = true
+		if st.Rank != i+1 {
+			t.Errorf("standing %d has rank %d", i, st.Rank)
+		}
+		if i > 0 && st.Score > rep.Ranking[i-1].Score {
+			t.Errorf("ranking not sorted: %q (%.4f) after %q (%.4f)",
+				st.Scheme, st.Score, rep.Ranking[i-1].Scheme, rep.Ranking[i-1].Score)
+		}
+	}
+	for _, s := range all {
+		if !ranked[s] {
+			t.Errorf("registered scheme %q missing from ranking", s)
+		}
+	}
+	if want := len(all) * len(rep.Families); len(rep.Cells) != want {
+		t.Fatalf("cells: %d, want schemes × families = %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		if c.Score < 0 || c.Score > 1 {
+			t.Errorf("cell %s/%s score %.4f outside [0,1]", c.Scheme, c.Family, c.Score)
+		}
+	}
+}
+
+func TestTournamentDeterministic(t *testing.T) {
+	cfg := small()
+	cfg.Schemes = []string{"cubic", "bbr", "vegas"}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := small()
+	cfg2.Schemes = []string{"cubic", "bbr", "vegas"}
+	cfg2.Workers = 3
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("same config produced different reports across worker counts")
+	}
+}
+
+func TestTournamentCheckedCellsHoldInvariants(t *testing.T) {
+	cfg := small()
+	cfg.Schemes = []string{"cubic", "reno"}
+	cfg.Check = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.Violations != 0 {
+			t.Errorf("cell %s/%s: %d invariant violations", c.Scheme, c.Family, c.Violations)
+		}
+	}
+}
+
+func TestTournamentRejectsUnknownInput(t *testing.T) {
+	if _, err := Run(Config{Schemes: []string{"nope"}}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(Config{Families: []string{"nope"}}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -77,12 +77,22 @@ type CongestionControl interface {
 	OnMTP(f *Flow, st MTPStats)
 }
 
+// sentRecord tracks one outstanding packet. Records live in the flow's
+// ring, a circular window over the contiguous packet-number range
+// [base, nextPktNum): packet numbers are dense and monotonic, so a ring
+// index replaces the map+slice bookkeeping that used to cost one heap
+// allocation and several map operations per packet (the dominant cost at
+// hundreds of concurrent flows).
 type sentRecord struct {
-	bytes  int
-	sentAt float64
-	acked  bool
-	lost   bool
+	bytes int
+	state uint8
 }
+
+const (
+	pktOutstanding uint8 = iota
+	pktAcked
+	pktLost
+)
 
 // Metrics is the transport telemetry bundle, typically shared by all flows
 // of one scenario (counters are atomic). PacketsLost* count loss
@@ -148,11 +158,13 @@ type Flow struct {
 	stopAt    float64
 
 	nextPktNum int64
-	sent       map[int64]*sentRecord
-	// order lists outstanding packet numbers in send order, so loss
-	// detection pops an amortized-O(1) prefix instead of scanning the map
-	// per ack (which is quadratic at large windows).
-	order        []int64
+	// ring holds the records for packet numbers [base, nextPktNum); head is
+	// the ring index of base. Capacity is a power of two and grows on
+	// demand; acked/lost prefixes are compacted away so the window tracks
+	// the true outstanding span.
+	ring         []sentRecord
+	base         int64
+	head         int
 	inflight     int
 	largestAcked int64
 
@@ -189,6 +201,10 @@ type Flow struct {
 	// pay only the counters' internal nil checks.
 	metrics *Metrics
 
+	// OnSendHook observes every data packet put on the wire, after the
+	// flow's counters are updated. The invariant checker uses it to mark
+	// the flow dirty for incremental conservation checks.
+	OnSendHook func(now float64, bytes int)
 	// OnAckHook lets experiment recorders observe acks without interposing
 	// on the CC.
 	OnAckHook func(e AckEvent)
@@ -213,7 +229,6 @@ func NewFlow(s *sim.Simulator, cfg FlowConfig) *Flow {
 		path:         cfg.Path,
 		cwnd:         icw,
 		minCwnd:      2,
-		sent:         make(map[int64]*sentRecord),
 		minRTT:       math.Inf(1),
 		startAt:      cfg.Start,
 		largestAcked: -1,
@@ -405,16 +420,61 @@ func (f *Flow) trySend() {
 	}
 }
 
+// recordAt returns the record for packet num, or nil when the number is
+// outside the tracked window (already compacted away, or never sent).
+func (f *Flow) recordAt(num int64) *sentRecord {
+	if num < f.base || num >= f.nextPktNum {
+		return nil
+	}
+	return &f.ring[(f.head+int(num-f.base))&(len(f.ring)-1)]
+}
+
+// pushRecord appends the record for the packet about to carry number
+// f.nextPktNum, growing the ring when the window is at capacity.
+func (f *Flow) pushRecord(bytes int) {
+	n := int(f.nextPktNum - f.base)
+	if n >= len(f.ring) {
+		f.growRing()
+	}
+	f.ring[(f.head+n)&(len(f.ring)-1)] = sentRecord{bytes: bytes}
+}
+
+func (f *Flow) growRing() {
+	newCap := len(f.ring) * 2
+	if newCap == 0 {
+		newCap = 64
+	}
+	grown := make([]sentRecord, newCap)
+	n := int(f.nextPktNum - f.base)
+	for i := 0; i < n; i++ {
+		grown[i] = f.ring[(f.head+i)&(len(f.ring)-1)]
+	}
+	f.ring, f.head = grown, 0
+}
+
+// compact advances the window past the prefix of records that are no
+// longer outstanding, so the ring stays as small as the true in-flight
+// span (plus any out-of-order holes).
+func (f *Flow) compact() {
+	mask := len(f.ring) - 1
+	for f.base < f.nextPktNum && f.ring[f.head].state != pktOutstanding {
+		f.head = (f.head + 1) & mask
+		f.base++
+	}
+}
+
 func (f *Flow) sendPacket() {
 	num := f.nextPktNum
-	f.nextPktNum++
 	now := f.Sim.Now()
-	f.sent[num] = &sentRecord{bytes: MSS, sentAt: now}
-	f.order = append(f.order, num)
+	f.pushRecord(MSS)
+	f.nextPktNum++
 	f.inflight++
 	f.SentBytes += MSS
 	f.mtpSent += MSS
 	f.metrics.PacketsSent.Inc()
+	if f.OnSendHook != nil {
+		f.OnSendHook(now, MSS)
+	}
 	p := netem.AcquirePacket()
 	p.FlowID, p.Seq, p.Size, p.SentAt = f.ID, num, MSS, now
 	netem.SendOver(p, f.path.Forward, f.deliverFn, dropSilently)
@@ -436,24 +496,22 @@ func (f *Flow) onAckArrival(p *netem.Packet) {
 	if !f.active {
 		return
 	}
-	rec, ok := f.sent[p.Seq]
-	if !ok || rec.acked {
-		return
+	rec := f.recordAt(p.Seq)
+	if rec == nil || rec.state != pktOutstanding {
+		return // already acknowledged, or declared lost (no ack credit)
 	}
 	now := f.Sim.Now()
-	rec.acked = true
-	wasLost := rec.lost
-	delete(f.sent, p.Seq)
-	if !wasLost {
-		f.inflight--
-	}
+	ackedBytes := rec.bytes
+	rec.state = pktAcked
+	f.inflight--
+	f.compact()
 
 	rttSample := now - p.SentAt
 	f.updateRTT(rttSample)
 	f.metrics.AcksReceived.Inc()
 	f.metrics.RTT.Observe(rttSample)
-	f.DeliveredBytes += int64(rec.bytes)
-	f.mtpDelivered += rec.bytes
+	f.DeliveredBytes += int64(ackedBytes)
+	f.mtpDelivered += ackedBytes
 	f.mtpRTTSum += rttSample
 	f.mtpRTTCount++
 	f.RTTSamples++
@@ -464,7 +522,7 @@ func (f *Flow) onAckArrival(p *netem.Packet) {
 	}
 
 	e := AckEvent{
-		PktNum: p.Seq, Bytes: rec.bytes, RTT: rttSample, Now: now,
+		PktNum: p.Seq, Bytes: ackedBytes, RTT: rttSample, Now: now,
 		SRTT: f.srtt, MinRTT: f.minRTTOrZero(), Inflight: f.inflight,
 	}
 	f.detectLosses()
@@ -501,21 +559,18 @@ func (f *Flow) detectLosses() {
 	}
 	var lostBytes, lostPkts int
 	var highest int64
-	for len(f.order) > 0 && f.order[0] <= threshold {
-		num := f.order[0]
-		f.order = f.order[1:]
-		rec, ok := f.sent[num]
-		if !ok {
-			continue // already acknowledged
+	mask := len(f.ring) - 1
+	for f.base < f.nextPktNum && f.base <= threshold {
+		rec := &f.ring[f.head]
+		if rec.state == pktOutstanding {
+			rec.state = pktLost
+			lostBytes += rec.bytes
+			lostPkts++
+			highest = f.base
+			f.inflight--
 		}
-		rec.lost = true
-		lostBytes += rec.bytes
-		lostPkts++
-		if num > highest {
-			highest = num
-		}
-		f.inflight--
-		delete(f.sent, num)
+		f.head = (f.head + 1) & mask
+		f.base++
 	}
 	if lostPkts == 0 {
 		return
@@ -570,20 +625,23 @@ func (f *Flow) onRTO() {
 	// Declare everything outstanding lost.
 	var lostBytes, lostPkts int
 	var highest int64
-	for num, rec := range f.sent {
-		if rec.lost {
-			continue
+	if n := int(f.nextPktNum - f.base); n > 0 {
+		mask := len(f.ring) - 1
+		for i := 0; i < n; i++ {
+			rec := &f.ring[(f.head+i)&mask]
+			if rec.state != pktOutstanding {
+				continue
+			}
+			rec.state = pktLost
+			lostBytes += rec.bytes
+			lostPkts++
+			highest = f.base + int64(i)
 		}
-		rec.lost = true
-		lostBytes += rec.bytes
-		lostPkts++
-		if num > highest {
-			highest = num
-		}
-		delete(f.sent, num)
+		// The whole window is resolved; drop it in one step.
+		f.head = (f.head + n) & mask
+		f.base = f.nextPktNum
 	}
 	f.inflight = 0
-	f.order = f.order[:0] // every outstanding record was just cleared
 	if lostPkts > 0 {
 		f.LostBytes += int64(lostBytes)
 		f.LostPackets += int64(lostPkts)

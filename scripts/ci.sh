@@ -71,6 +71,19 @@ kill -INT "$QSERVE_PID"
 wait "$QSERVE_PID" || { echo "ci: quantized serve drain was not clean"; cat "$SMOKE/qserve.log"; exit 1; }
 if grep -q "RACE" "$SMOKE/qserve.log"; then echo "ci: race detected in quantized serve smoke"; cat "$SMOKE/qserve.log"; exit 1; fi
 
+# Tournament smoke: the real binary on a trimmed grid (2 schemes × 2
+# families, invariants checked). The report must rank both schemes and both
+# artifacts must land under the output directory — a malformed table or a
+# missing JSON report fails here, not in a user's hands.
+go build -o "$SMOKE/astraea-tournament" ./cmd/astraea-tournament
+"$SMOKE/astraea-tournament" -schemes cubic,reno -families incast,oscillating \
+    -flows 4 -duration 1 -check -out "$SMOKE/tourney" >"$SMOKE/tourney.txt"
+grep -Eq '^1 +(cubic|reno) ' "$SMOKE/tourney.txt" || { echo "ci: tournament table has no rank-1 row"; cat "$SMOKE/tourney.txt"; exit 1; }
+grep -Eq '^2 +(cubic|reno) ' "$SMOKE/tourney.txt" || { echo "ci: tournament table has no rank-2 row"; cat "$SMOKE/tourney.txt"; exit 1; }
+[ -s "$SMOKE/tourney/tournament.json" ] || { echo "ci: tournament.json missing"; exit 1; }
+[ -s "$SMOKE/tourney/tournament.txt" ]  || { echo "ci: tournament.txt missing"; exit 1; }
+grep -q '"ranking"' "$SMOKE/tourney/tournament.json" || { echo "ci: tournament.json has no ranking"; exit 1; }
+
 # Coverage summary: per-package statement coverage plus the total, so a PR
 # that guts a test file shows up as a number, not a feeling.
 go test -coverprofile="$COVER" ./... >/dev/null
@@ -105,6 +118,10 @@ go test -race -run TestResumeDeterminismBitwise ./internal/env
 # Reproduce a failing seed with:
 #   go test ./internal/check -run TestRandomScenarioInvariants -seed=N
 go test -race -run TestRandomScenarioInvariants ./internal/check
+# The 500-flow incast under the full invariant checker, named: this is the
+# scale workload the O(flows) fix pass targets, and the dirty-flow plumbing
+# it relies on must also be clean under the detector.
+go test -race -run 'TestIncast500FlowInvariants|TestIncrementalChecker' ./internal/check
 # Quantized-equivalence sweep under the race detector, named so a fixed-
 # point regression (divergent actions, moved fairness/throughput, or a
 # kernel race) is attributable at a glance.

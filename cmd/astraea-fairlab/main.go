@@ -1,0 +1,99 @@
+// Command astraea-fairlab runs the reward-strategy ablation: one
+// short-budget learner per strategy, trained under identical conditions,
+// evaluated head-to-head on a fixed fairness grid and ranked on
+// Jain-over-time, convergence speed, and throughput cost per fairness point.
+//
+// Examples:
+//
+//	astraea-fairlab -out results/fairness_lab
+//	astraea-fairlab -strategies paper,aurora -episodes 2 -out /tmp/smoke
+//	astraea-fairlab -strategies paper,maxmin,alpha:2 -actors actors/
+//
+// -out writes <out>.json (machine-readable report) and <out>.txt (rendered
+// table). -actors additionally saves each strategy's trained policy as
+// <dir>/<strategy>.json, loadable by astraea-tournament -actors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	strategies := flag.String("strategies", strings.Join(experiments.DefaultFairnessLabOptions().Strategies, ","),
+		"comma-separated reward strategies to compare")
+	episodes := flag.Int("episodes", experiments.DefaultFairnessLabOptions().Episodes,
+		"training episodes per strategy")
+	seed := flag.Int64("seed", 1, "lab seed (training and evaluation)")
+	workers := flag.Int("workers", 4, "strategies trained concurrently")
+	out := flag.String("out", "results/fairness_lab", "output stem; writes <out>.json and <out>.txt")
+	actorDir := flag.String("actors", "", "also save each trained actor as <dir>/<strategy>.json")
+	flag.Parse()
+
+	opts := experiments.DefaultFairnessLabOptions()
+	opts.Strategies = nil
+	for _, s := range strings.Split(*strategies, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, err := core.NewRewardStrategy(s); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+			fmt.Fprintln(os.Stderr, "astraea-fairlab: known strategies:", core.RewardStrategyNames())
+			os.Exit(1)
+		}
+		opts.Strategies = append(opts.Strategies, s)
+	}
+	opts.Episodes = *episodes
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	report, err := experiments.RunFairnessLab(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+		os.Exit(1)
+	}
+
+	table := report.Table()
+	fmt.Print(table.String())
+
+	if err := os.MkdirAll(filepath.Dir(*out+".json"), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+		os.Exit(1)
+	}
+	js, err := report.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out+".json", append(js, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out+".txt", []byte(table.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "astraea-fairlab: wrote %s.json and %s.txt\n", *out, *out)
+
+	if *actorDir != "" {
+		if err := os.MkdirAll(*actorDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+			os.Exit(1)
+		}
+		for name, policy := range report.Actors {
+			path := filepath.Join(*actorDir, experiments.SanitizeStrategyFilename(name)+".json")
+			if err := core.SavePolicy(path, policy.Net); err != nil {
+				fmt.Fprintln(os.Stderr, "astraea-fairlab:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "astraea-fairlab: saved %s actor to %s\n", name, path)
+		}
+	}
+}

@@ -11,6 +11,10 @@
 //	astraea-tournament                              # full grid, report under results/
 //	astraea-tournament -schemes cubic,bbr,astraea -flows 16
 //	astraea-tournament -families incast,oscillating -duration 2 -check
+//	astraea-tournament -actors maxmin=actors/maxmin.json,alpha2=actors/alpha_2.json
+//
+// -actors enters pre-trained policy files (e.g. saved by astraea-fairlab
+// -actors) as additional competitors under their given names.
 //
 // Writes results/tournament.json (full cells + ranking) and
 // results/tournament.txt (the table printed to stdout).
@@ -36,10 +40,18 @@ func main() {
 	workers := flag.Int("workers", 0, "batch pool size (0 = GOMAXPROCS)")
 	out := flag.String("out", "results", "output directory for tournament.json and tournament.txt")
 	checkFlag := flag.Bool("check", false, "attach the invariant checker to every cell and report violation counts")
+	actorsFlag := flag.String("actors", "", "comma-separated name=path policy entries (weights saved by astraea-fairlab -actors)")
 	flag.Parse()
+
+	actors, err := parseActors(*actorsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-tournament:", err)
+		os.Exit(1)
+	}
 
 	cfg := tournament.Config{
 		Schemes:  splitList(*schemes),
+		Actors:   actors,
 		Families: splitList(*familiesFlag),
 		Flows:    *flows,
 		Duration: *duration,
@@ -70,6 +82,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
 			filepath.Join(*out, "tournament.json"), filepath.Join(*out, "tournament.txt"))
 	}
+}
+
+// parseActors turns "name=path,name=path" into ActorSpecs; further
+// validation (name collisions, loadable weights) happens in tournament.Run.
+func parseActors(s string) ([]tournament.ActorSpec, error) {
+	var specs []tournament.ActorSpec
+	for _, part := range splitList(s) {
+		name, path, ok := strings.Cut(part, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("-actors entry %q: want name=path", part)
+		}
+		specs = append(specs, tournament.ActorSpec{Name: name, Path: path})
+	}
+	return specs, nil
 }
 
 func splitList(s string) []string {

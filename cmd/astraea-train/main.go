@@ -46,6 +46,7 @@ func main() {
 	epochs := flag.Int("epochs", 30, "epochs (distill mode)")
 	out := flag.String("out", "actor.json", "output weight file")
 	seed := flag.Int64("seed", 1, "random seed")
+	reward := flag.String("reward", "", "reward strategy: paper (default), aurora, maxmin, alpha[:a] (e.g. alpha:2)")
 	checkpoint := flag.String("checkpoint", "", "write crash-safe training checkpoints to this path (rl mode; serial loop)")
 	checkpointEvery := flag.Int("checkpoint-every", 25, "episodes between checkpoint writes when -checkpoint is set")
 	resume := flag.String("resume", "", "resume rl training from this checkpoint and continue toward -episodes total")
@@ -79,11 +80,24 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	strategy, err := core.NewRewardStrategy(*reward)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astraea-train:", err)
+		fmt.Fprintln(os.Stderr, "astraea-train: known strategies:", core.RewardStrategyNames())
+		os.Exit(1)
+	}
+	cfg.Reward = strategy.Name()
+	rewardSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "reward" {
+			rewardSet = true
+		}
+	})
 	switch *mode {
 	case "rl":
 		if *checkpoint != "" || *resume != "" {
 			if err := trainCheckpointed(cfg, reg, *episodes, *workers, *seed,
-				*checkpoint, *checkpointEvery, *resume, *out); err != nil {
+				*checkpoint, *checkpointEvery, *resume, *out, rewardSet); err != nil {
 				fmt.Fprintln(os.Stderr, "astraea-train:", err)
 				os.Exit(1)
 			}
@@ -114,6 +128,7 @@ func main() {
 		opts.Samples = *samples
 		opts.Epochs = *epochs
 		opts.Seed = *seed
+		opts.Reward = cfg.Reward
 		net, loss := core.DistillPolicy(cfg, opts)
 		fmt.Printf("distilled reference policy: imitation MSE = %.6f\n", loss)
 		if err := core.SavePolicy(*out, net); err != nil {
@@ -134,7 +149,8 @@ func main() {
 // trajectory is bitwise-identical to an uninterrupted run of the same
 // length.
 func trainCheckpointed(cfg core.Config, reg *telemetry.Registry,
-	episodes, workers int, seed int64, ckptPath string, every int, resume, out string) error {
+	episodes, workers int, seed int64, ckptPath string, every int, resume, out string,
+	rewardSet bool) error {
 
 	if workers > 1 {
 		fmt.Fprintln(os.Stderr, "astraea-train: checkpointed training is serial for determinism; ignoring -workers")
@@ -148,8 +164,13 @@ func trainCheckpointed(cfg core.Config, reg *telemetry.Registry,
 		if err != nil {
 			return err
 		}
+		if rewardSet && l.StrategyName() != cfg.RewardName() {
+			return fmt.Errorf("checkpoint %s was trained under reward strategy %q; -reward %q would change the objective mid-run — refusing to resume",
+				resume, l.StrategyName(), cfg.RewardName())
+		}
 		learner = l
-		fmt.Fprintf(os.Stderr, "astraea-train: resumed from %s at episode %d\n", resume, learner.Episodes)
+		fmt.Fprintf(os.Stderr, "astraea-train: resumed from %s at episode %d (strategy %s)\n",
+			resume, learner.Episodes, learner.StrategyName())
 	} else {
 		learner = env.NewLearner(cfg, env.DefaultTrainingDistribution(), seed)
 	}

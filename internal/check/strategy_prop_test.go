@@ -1,0 +1,187 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The reward-strategy property sweep: every registered strategy (plus alpha
+// at several α) is hammered with sweepSize seeded random world observations
+// and must satisfy the RewardStrategy contract — finite components, the
+// shared Total bound, invariance to flow ordering, a preference (weak) for
+// equal shares at fixed aggregate throughput, and exact zeros on degenerate
+// inputs. Reproduce one failing seed with -seed=N.
+
+// propStrategies returns the strategy instances under test, covering each
+// registered family and the α spectrum's interesting points.
+func propStrategies(t *testing.T) []core.RewardStrategy {
+	t.Helper()
+	names := []string{"paper", "aurora", "maxmin", "alpha:0", "alpha:1", "alpha:2", "alpha:8"}
+	out := make([]core.RewardStrategy, 0, len(names))
+	for _, n := range names {
+		s, err := core.NewRewardStrategy(n)
+		if err != nil {
+			t.Fatalf("strategy %q: %v", n, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// propWorld draws one random world observation: a link and 1..6 flows with
+// correlated histories, latencies and losses.
+func propWorld(r *rand.Rand) ([]core.FlowObs, core.LinkInfo, core.Config) {
+	cfg := core.DefaultConfig()
+	cfg.Beta = 0.5 * r.Float64()
+	link := core.LinkInfo{
+		Bandwidth: math.Exp(r.Float64()*8) * 1e6,
+		BaseOWD:   0.001 + 0.1*r.Float64(),
+	}
+	n := 1 + r.Intn(6)
+	flows := make([]core.FlowObs, n)
+	for i := range flows {
+		share := r.Float64() * 1.5 * link.Bandwidth / float64(n)
+		w := 1 + r.Intn(6)
+		hist := make([]float64, w)
+		for j := range hist {
+			hist[j] = share * (0.5 + r.Float64())
+		}
+		flows[i] = core.FlowObs{
+			TputBps:     share,
+			TputHistory: hist,
+			AvgLat:      2 * link.BaseOWD * (0.8 + 2*r.Float64()),
+			PacingBps:   share * (0.8 + 0.4*r.Float64()),
+		}
+		if r.Float64() < 0.3 {
+			flows[i].LossBps = share * 0.2 * r.Float64()
+		}
+	}
+	return flows, link, cfg
+}
+
+func finiteComponents(rc core.RewardComponents) bool {
+	for _, v := range []float64{rc.Thr, rc.Lat, rc.Loss, rc.Fair, rc.Stab, rc.Total} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStrategyPropertySweep(t *testing.T) {
+	strategies := propStrategies(t)
+	seeds := make([]int64, 0, sweepSize)
+	if *seedFlag >= 0 {
+		seeds = append(seeds, *seedFlag)
+	} else {
+		for s := int64(0); s < sweepSize; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		for _, strat := range strategies {
+			r := rand.New(rand.NewSource(seed))
+			flows, link, cfg := propWorld(r)
+			rc := strat.Evaluate(cfg, flows, link)
+
+			// Finite components, bounded total.
+			if !finiteComponents(rc) {
+				t.Fatalf("seed %d %s: non-finite components %+v", seed, strat.Name(), rc)
+			}
+			if rc.Total < -core.RewardBound || rc.Total > core.RewardBound {
+				t.Fatalf("seed %d %s: Total %v outside ±%v", seed, strat.Name(), rc.Total, core.RewardBound)
+			}
+
+			// Permutation invariance: the reward is a function of the set of
+			// flows, not their order. Tolerance covers float summation order.
+			perm := make([]core.FlowObs, len(flows))
+			for i, p := range r.Perm(len(flows)) {
+				perm[i] = flows[p]
+			}
+			pc := strat.Evaluate(cfg, perm, link)
+			for _, d := range []struct {
+				name string
+				a, b float64
+			}{
+				{"Thr", rc.Thr, pc.Thr}, {"Lat", rc.Lat, pc.Lat},
+				{"Loss", rc.Loss, pc.Loss}, {"Fair", rc.Fair, pc.Fair},
+				{"Stab", rc.Stab, pc.Stab}, {"Total", rc.Total, pc.Total},
+			} {
+				if math.Abs(d.a-d.b) > 1e-9*(1+math.Abs(d.a)) {
+					t.Fatalf("seed %d %s: %s not permutation-invariant: %v vs %v",
+						seed, strat.Name(), d.name, d.a, d.b)
+				}
+			}
+		}
+	}
+}
+
+func TestStrategyEqualSharesPreferred(t *testing.T) {
+	// At fixed aggregate throughput (and identical latency/loss/history
+	// shape), an equal split must score at least as well as an unequal one:
+	// every strategy is at worst fairness-neutral (aurora), never
+	// fairness-averse. Aggregate is kept ≥ 10% utilization so the α ≥ 1
+	// share floor does not invert the comparison, and ≤ 95% so totals stay
+	// inside the clamp where the ordering is observable.
+	strategies := propStrategies(t)
+	for seed := int64(0); seed < sweepSize; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		link := core.LinkInfo{
+			Bandwidth: math.Exp(r.Float64()*8) * 1e6,
+			BaseOWD:   0.001 + 0.1*r.Float64(),
+		}
+		cfg := core.DefaultConfig()
+		n := 2 + r.Intn(5)
+		total := (0.1 + 0.85*r.Float64()) * link.Bandwidth
+
+		// Unequal split of the same total via random weights.
+		weights := make([]float64, n)
+		var wsum float64
+		for i := range weights {
+			weights[i] = r.Float64() + 1e-6
+			wsum += weights[i]
+		}
+		mk := func(tput float64) core.FlowObs {
+			hist := []float64{tput, tput, tput}
+			return core.FlowObs{TputBps: tput, TputHistory: hist,
+				AvgLat: 2 * link.BaseOWD, PacingBps: tput}
+		}
+		equal := make([]core.FlowObs, n)
+		unequal := make([]core.FlowObs, n)
+		for i := 0; i < n; i++ {
+			equal[i] = mk(total / float64(n))
+			unequal[i] = mk(total * weights[i] / wsum)
+		}
+		for _, strat := range strategies {
+			eq := strat.Evaluate(cfg, equal, link)
+			un := strat.Evaluate(cfg, unequal, link)
+			if eq.Total < un.Total-1e-12 {
+				t.Fatalf("seed %d %s: equal split %v scored below unequal %v",
+					seed, strat.Name(), eq.Total, un.Total)
+			}
+		}
+	}
+}
+
+func TestStrategyDegenerateInputsAreZero(t *testing.T) {
+	cfg := core.DefaultConfig()
+	someFlows := []core.FlowObs{{TputBps: 1e6, TputHistory: []float64{1e6}, AvgLat: 0.03}}
+	for _, strat := range propStrategies(t) {
+		// No flows.
+		if rc := strat.Evaluate(cfg, nil, core.LinkInfo{Bandwidth: 100e6, BaseOWD: 0.015}); rc != (core.RewardComponents{}) {
+			t.Errorf("%s: zero flows gave %+v, want zeros", strat.Name(), rc)
+		}
+		// No capacity.
+		if rc := strat.Evaluate(cfg, someFlows, core.LinkInfo{Bandwidth: 0, BaseOWD: 0.015}); rc != (core.RewardComponents{}) {
+			t.Errorf("%s: zero bandwidth gave %+v, want zeros", strat.Name(), rc)
+		}
+		// No propagation floor: latency term must drop, everything finite.
+		rc := strat.Evaluate(cfg, someFlows, core.LinkInfo{Bandwidth: 100e6, BaseOWD: 0})
+		if rc.Lat != 0 || !finiteComponents(rc) {
+			t.Errorf("%s: zero BaseOWD gave Lat=%v components=%+v", strat.Name(), rc.Lat, rc)
+		}
+	}
+}

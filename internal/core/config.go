@@ -25,6 +25,13 @@ type Config struct {
 	// Reward coefficients c0..c4 of Eq. 8.
 	C0, C1, C2, C3, C4 float64
 
+	// Reward names the RewardStrategy the training environment optimizes
+	// (see NewRewardStrategy): "paper" (or empty, the Eqs. 4–8 default),
+	// "aurora", "maxmin", or "alpha[:α]". It rides along in checkpoints so
+	// a learner trained under one objective cannot silently resume under
+	// another.
+	Reward string
+
 	// Gamma is the RL discount factor.
 	Gamma float64
 	// LearningRate for actor and critic.
@@ -75,3 +82,15 @@ const GlobalFeatureDim = 12
 
 // StateDim returns the stacked actor input width (w × 8).
 func (c Config) StateDim() int { return c.HistoryLen * LocalFeatureDim }
+
+// RewardName returns the canonical name of the configured reward strategy
+// ("" normalizes to "paper", "alpha" to "alpha:1"). An unresolvable name is
+// returned verbatim — validation belongs to the call sites that instantiate
+// the strategy (CLI flag parsing, checkpoint loading), which report it as
+// an error rather than a panic.
+func (c Config) RewardName() string {
+	if s, err := NewRewardStrategy(c.Reward); err == nil {
+		return s.Name()
+	}
+	return c.Reward
+}

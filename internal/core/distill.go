@@ -15,6 +15,15 @@ type DistillOptions struct {
 	LR      float64
 	Hidden  []int
 	Seed    int64
+	// Reward names the RewardStrategy the distilled policy should serve
+	// (see NewRewardStrategy; empty = paper default). The strategy selects
+	// the reference policy's Delta via DistillDelta — the policy-side
+	// fairness control surface — so a maxmin- or α-distilled actor holds a
+	// tighter per-flow queue and an aurora-distilled one a looser, mirroring
+	// what RL training under that objective converges to. The default is
+	// bit-identical to the pre-strategy distillation (digest-pinned by the
+	// fig18 golden test).
+	Reward string
 }
 
 // DefaultDistillOptions returns settings that reach small imitation error
@@ -75,6 +84,10 @@ func clamp01(v float64) float64 {
 func DistillPolicy(cfg Config, opts DistillOptions) (*nn.MLP, float64) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	ref := NewReferencePolicy(cfg)
+	// Strategy-aware target: tune the reference control law's
+	// aggressiveness to the objective this actor will serve. The paper
+	// strategy maps to the unchanged default Delta.
+	ref.SetDelta(DistillDelta(MustRewardStrategy(opts.Reward), ref.Delta))
 
 	sizes := append([]int{cfg.StateDim()}, opts.Hidden...)
 	sizes = append(sizes, 1)

@@ -43,7 +43,24 @@ func avgThr(hist []float64) float64 {
 	return s / float64(len(hist))
 }
 
-// Reward evaluates Eqs. 4–8 over all active flows.
+// Reward evaluates Eqs. 4–8 over all active flows. It is the evaluation
+// behind PaperStrategy; new callers should go through a RewardStrategy.
+//
+// Edge contracts (each regression-tested in reward_test.go):
+//
+//   - Zero flows or link.Bandwidth <= 0 return the zero RewardComponents:
+//     there is no capacity to normalize against, so the observation carries
+//     no signal rather than an infinite one.
+//   - A flow with TputBps == 0 and LossBps == 0 contributes zero to the
+//     loss ratio (it moved nothing and lost nothing); TputBps == 0 with
+//     LossBps > 0 contributes the ratio's supremum 1 (everything it sent
+//     was lost) instead of dividing by zero.
+//   - link.BaseOWD <= 0 drops the latency term entirely: with no
+//     propagation floor, "queueing above tolerance" is undefined and the
+//     normalization would divide by zero. (Historically this was implicit
+//     in a tol > 0 comparison; the guard below is the explicit form.)
+//   - A flow whose windowed average throughput is zero contributes nothing
+//     to the stability term (its variation ratio has no scale).
 func Reward(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
 	var rc RewardComponents
 	n := len(flows)
@@ -68,10 +85,14 @@ func Reward(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
 
 	// Eq. 5: latency above the tolerated (1+beta)*d0, weighted by pacing
 	// rate (normalized so the term stays comparable across link speeds).
-	avgLat := sumLat / float64(n)
-	tol := (1 + cfg.Beta) * 2 * link.BaseOWD // latency here is an RTT measure
-	if avgLat > tol && tol > 0 {
-		rc.Lat = (avgLat - tol) * (sumPacing / float64(n)) / link.Bandwidth / link.BaseOWD
+	// BaseOWD > 0 is required twice over: the tolerance needs a propagation
+	// floor and the normalization divides by it.
+	if link.BaseOWD > 0 {
+		avgLat := sumLat / float64(n)
+		tol := (1 + cfg.Beta) * 2 * link.BaseOWD // latency here is an RTT measure
+		if avgLat > tol && tol > 0 {
+			rc.Lat = (avgLat - tol) * (sumPacing / float64(n)) / link.Bandwidth / link.BaseOWD
+		}
 	}
 
 	// Eq. 6: fairness from the spread of windowed average throughputs
@@ -108,15 +129,8 @@ func Reward(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
 	}
 	rc.Stab = stabSum / float64(n)
 
-	// Eq. 8 with bounding to (-0.1, 0.1).
-	total := cfg.C0*rc.Thr - cfg.C1*rc.Lat - cfg.C2*rc.Loss - cfg.C3*rc.Fair - cfg.C4*rc.Stab
-	if total > 0.1 {
-		total = 0.1
-	}
-	if total < -0.1 {
-		total = -0.1
-	}
-	rc.Total = total
+	// Eq. 8 with the shared [-RewardBound, RewardBound] clamp.
+	rc.Total = clampTotal(cfg.C0*rc.Thr - cfg.C1*rc.Lat - cfg.C2*rc.Loss - cfg.C3*rc.Fair - cfg.C4*rc.Stab)
 	return rc
 }
 

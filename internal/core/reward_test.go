@@ -142,6 +142,80 @@ func TestFairnessPenaltyProperties(t *testing.T) {
 	}
 }
 
+// The documented edge contracts of Reward, one regression test per clause.
+
+func TestRewardEdgeZeroTputWithLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	link := LinkInfo{Bandwidth: 100e6, BaseOWD: 0.015}
+	// A flow that delivered nothing but lost bytes hits the loss ratio's
+	// supremum 1, not a division by zero.
+	rc := Reward(cfg, []FlowObs{{TputBps: 0, LossBps: 5e6, AvgLat: 0.030}}, link)
+	if rc.Loss != 1 {
+		t.Fatalf("all-loss flow loss ratio %v, want 1", rc.Loss)
+	}
+	// Delivered nothing, lost nothing: zero contribution.
+	rc = Reward(cfg, []FlowObs{{TputBps: 0, LossBps: 0, AvgLat: 0.030}}, link)
+	if rc.Loss != 0 {
+		t.Fatalf("idle flow loss ratio %v, want 0", rc.Loss)
+	}
+}
+
+func TestRewardEdgeNoPropagationFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	f := flatObs(50e6, 5)
+	f.AvgLat = 10 // enormous queueing signal
+	f.PacingBps = 100e6
+	for _, owd := range []float64{0, -0.01} {
+		rc := Reward(cfg, []FlowObs{f}, LinkInfo{Bandwidth: 100e6, BaseOWD: owd})
+		if rc.Lat != 0 {
+			t.Fatalf("BaseOWD=%v produced latency term %v, want 0", owd, rc.Lat)
+		}
+		if math.IsNaN(rc.Total) || math.IsInf(rc.Total, 0) {
+			t.Fatalf("BaseOWD=%v produced non-finite total %v", owd, rc.Total)
+		}
+	}
+}
+
+func TestRewardEdgeDegenerateTolerance(t *testing.T) {
+	// Beta = -1 makes the tolerance zero; the documented contract is that a
+	// non-positive tolerance disables the latency term rather than treating
+	// every measured RTT as excess queueing.
+	cfg := DefaultConfig()
+	cfg.Beta = -1
+	f := flatObs(50e6, 5)
+	f.AvgLat = 0.5
+	f.PacingBps = 100e6
+	rc := Reward(cfg, []FlowObs{f}, LinkInfo{Bandwidth: 100e6, BaseOWD: 0.015})
+	if rc.Lat != 0 {
+		t.Fatalf("zero tolerance produced latency term %v, want 0 (disabled)", rc.Lat)
+	}
+}
+
+func TestRewardEdgeZeroWindowedAverage(t *testing.T) {
+	cfg := DefaultConfig()
+	link := LinkInfo{Bandwidth: 100e6, BaseOWD: 0.015}
+	// All-zero history: the variation ratio has no scale, so the flow is
+	// skipped by the stability term instead of dividing by zero.
+	dead := FlowObs{TputBps: 0, TputHistory: []float64{0, 0, 0}, AvgLat: 0.030}
+	rc := Reward(cfg, []FlowObs{dead, flatObs(50e6, 5)}, link)
+	if rc.Stab != 0 {
+		t.Fatalf("zero-average history produced stability term %v", rc.Stab)
+	}
+	for _, v := range []float64{rc.Thr, rc.Lat, rc.Loss, rc.Fair, rc.Stab, rc.Total} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite component: %+v", rc)
+		}
+	}
+}
+
+func TestRewardEdgeNegativeBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	rc := Reward(cfg, []FlowObs{flatObs(1e6, 3)}, LinkInfo{Bandwidth: -5, BaseOWD: 0.015})
+	if rc != (RewardComponents{}) {
+		t.Fatalf("negative bandwidth produced nonzero components: %+v", rc)
+	}
+}
+
 func TestRewardThroughputMonotone(t *testing.T) {
 	cfg := DefaultConfig()
 	link := LinkInfo{Bandwidth: 100e6, BaseOWD: 0.015}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// RewardStrategy is the pluggable multi-flow reward of the training loop.
+// The paper hard-codes Eqs. 4–8; Fair-Aurora's question — which fairness
+// formulation buys the most fairness per unit throughput — needs the reward
+// behind an interface so the trainer, the checkpoint format, and the
+// ablation harness can swap formulations without touching the environment.
+//
+// Contract shared by every implementation:
+//
+//   - Evaluate is a pure function of its arguments (no retained state), so
+//     strategies are safe to share across goroutines.
+//   - Zero flows or non-positive link bandwidth return the zero
+//     RewardComponents — never NaN or Inf.
+//   - link.BaseOWD <= 0 drops the latency term (there is no propagation
+//     floor to measure queueing against) rather than dividing by zero.
+//   - Total is clamped to [-RewardBound, RewardBound]. A uniform bound
+//     keeps the TD3 hyperparameters (critic scale, exploration noise)
+//     transferable across strategies, which is what makes the fairness-lab
+//     ablation a comparison of objectives rather than of learning rates.
+type RewardStrategy interface {
+	// Name returns the canonical strategy identifier, round-trippable
+	// through NewRewardStrategy (registries, checkpoints, reports).
+	Name() string
+	// Evaluate scores one monitoring period's world observation.
+	Evaluate(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents
+}
+
+// RewardBound is the symmetric clamp every strategy applies to
+// RewardComponents.Total (the paper's Eq. 8 bound).
+const RewardBound = 0.1
+
+// RewardStrategyNames lists the registered strategy families in report
+// order. "alpha" accepts a parameter: "alpha:2" is α-fairness with α=2.
+func RewardStrategyNames() []string {
+	return []string{"paper", "aurora", "maxmin", "alpha"}
+}
+
+// NewRewardStrategy resolves a strategy name. The empty string is the paper
+// default. "alpha" takes an optional ":<α>" suffix (default α=1,
+// proportional fairness); α must be a finite value ≥ 0.
+func NewRewardStrategy(name string) (RewardStrategy, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	switch base {
+	case "", "paper":
+		if hasArg {
+			return nil, fmt.Errorf("core: strategy %q takes no parameter", base)
+		}
+		return PaperStrategy{}, nil
+	case "aurora":
+		if hasArg {
+			return nil, fmt.Errorf("core: strategy %q takes no parameter", base)
+		}
+		return AuroraStrategy{}, nil
+	case "maxmin":
+		if hasArg {
+			return nil, fmt.Errorf("core: strategy %q takes no parameter", base)
+		}
+		return MaxMinStrategy{}, nil
+	case "alpha":
+		a := 1.0
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: alpha parameter %q: %w", arg, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("core: alpha parameter %v out of range (need finite α ≥ 0)", v)
+			}
+			a = v
+		}
+		return AlphaFairStrategy{Alpha: a}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown reward strategy %q (have %v)", name, RewardStrategyNames())
+	}
+}
+
+// MustRewardStrategy is NewRewardStrategy for callers holding a
+// pre-validated name (the environment after the CLI or checkpoint loader
+// has vetted it). It panics on an unknown name: reaching here with one is
+// a programming error, not a runtime condition.
+func MustRewardStrategy(name string) RewardStrategy {
+	s, err := NewRewardStrategy(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// clampTotal applies the shared Eq. 8 bound.
+func clampTotal(v float64) float64 {
+	if v > RewardBound {
+		return RewardBound
+	}
+	if v < -RewardBound {
+		return -RewardBound
+	}
+	return v
+}
+
+// PaperStrategy is the paper's Eqs. 4–8, bit-for-bit the pre-interface
+// core.Reward (golden-digest pinned by TestPaperStrategyGoldenDigest).
+type PaperStrategy struct{}
+
+// Name implements RewardStrategy.
+func (PaperStrategy) Name() string { return "paper" }
+
+// Evaluate implements RewardStrategy by delegating to Reward.
+func (PaperStrategy) Evaluate(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
+	return Reward(cfg, flows, link)
+}
+
+// lossFraction returns lost/(delivered+lost) bytes for one flow. A flow
+// that moved no bytes at all contributes zero; a flow that only lost
+// contributes one. Never NaN.
+func lossFraction(f FlowObs) float64 {
+	tot := f.TputBps + f.LossBps
+	if tot <= 0 {
+		return 0
+	}
+	return f.LossBps / tot
+}
+
+// queueRatio returns the mean tolerated-excess queueing ratio across flows:
+// max(0, RTT - (1+Beta)·2·d0) / (2·d0). Zero when link.BaseOWD <= 0 (no
+// propagation floor to measure against — the explicit form of the paper
+// reward's tol > 0 guard).
+func queueRatio(cfg Config, flows []FlowObs, link LinkInfo) float64 {
+	if link.BaseOWD <= 0 || len(flows) == 0 {
+		return 0
+	}
+	baseRTT := 2 * link.BaseOWD
+	tol := (1 + cfg.Beta) * baseRTT
+	var sum float64
+	for _, f := range flows {
+		if f.AvgLat > tol {
+			sum += (f.AvgLat - tol) / baseRTT
+		}
+	}
+	return sum / float64(len(flows))
+}
+
+// windowedTput is Eq. 7's per-flow windowed average, falling back to the
+// instantaneous throughput when no history has accumulated yet.
+func windowedTput(f FlowObs) float64 {
+	if len(f.TputHistory) == 0 {
+		return f.TputBps
+	}
+	return avgThr(f.TputHistory)
+}
+
+// AuroraStrategy is the Aurora/PCC-style per-flow linear reward
+// (throughput minus delay minus loss, the 10/-1000/-2000 shape of the
+// reference implementation) aggregated as the mean over flows and rescaled
+// into the shared bound. It has no explicit fairness term: any fairness it
+// produces must emerge from the environment, which is exactly the contrast
+// the fairness lab measures.
+//
+// Per flow i with capacity share x_i = thr_i/c, queueing ratio q_i and loss
+// fraction l_i:
+//
+//	r_i = 10·x_i − 5·q_i − 20·l_i,   Total = clamp(0.01 · mean_i r_i)
+//
+// Components: Thr and Loss as in Eq. 4, Lat = mean queueing ratio,
+// Fair = Stab = 0 (no such terms exist in this objective).
+type AuroraStrategy struct{}
+
+// Name implements RewardStrategy.
+func (AuroraStrategy) Name() string { return "aurora" }
+
+// Evaluate implements RewardStrategy.
+func (AuroraStrategy) Evaluate(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
+	var rc RewardComponents
+	n := len(flows)
+	if n == 0 || link.Bandwidth <= 0 {
+		return rc
+	}
+	var sumThr, sumLoss float64
+	for _, f := range flows {
+		sumThr += f.TputBps
+		sumLoss += lossFraction(f)
+	}
+	rc.Thr = sumThr / link.Bandwidth
+	rc.Loss = sumLoss / float64(n)
+	rc.Lat = queueRatio(cfg, flows, link)
+	// mean r_i = 10·mean(x_i) − 5·mean(q_i) − 20·mean(l_i); mean(x_i) is
+	// Thr/n (each flow's share of capacity, averaged).
+	meanR := 10*rc.Thr/float64(n) - 5*rc.Lat - 20*rc.Loss
+	rc.Total = clampTotal(0.01 * meanR)
+	return rc
+}
+
+// maxMinWeight scales the worst-flow shortfall penalty. At 0.05 a flow
+// starved to half its fair share costs a quarter of the full reward range —
+// dominant over the throughput term (C0 = 0.1 · utilization) without
+// saturating the clamp on its own.
+const maxMinWeight = 0.05
+
+// MaxMinStrategy rewards throughput and loss like the paper but replaces
+// the spread-based fairness and stability terms with a single max-min
+// penalty on the worst flow's shortfall from its fair share:
+//
+//	shortfall = max(0, c/n − min_i thravg_i) / (c/n) ∈ [0, 1]
+//	Total = clamp(C0·Thr − C1·Lat − C2·Loss − 0.05·shortfall)
+//
+// Components: Fair carries the shortfall, Stab = 0.
+type MaxMinStrategy struct{}
+
+// Name implements RewardStrategy.
+func (MaxMinStrategy) Name() string { return "maxmin" }
+
+// Evaluate implements RewardStrategy.
+func (MaxMinStrategy) Evaluate(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
+	var rc RewardComponents
+	n := len(flows)
+	if n == 0 || link.Bandwidth <= 0 {
+		return rc
+	}
+	var sumThr, sumLoss float64
+	worst := math.Inf(1)
+	for _, f := range flows {
+		sumThr += f.TputBps
+		sumLoss += lossFraction(f)
+		if w := windowedTput(f); w < worst {
+			worst = w
+		}
+	}
+	rc.Thr = sumThr / link.Bandwidth
+	rc.Loss = sumLoss / float64(n)
+	rc.Lat = queueRatio(cfg, flows, link)
+	fairShare := link.Bandwidth / float64(n)
+	if worst < fairShare {
+		rc.Fair = (fairShare - worst) / fairShare
+	}
+	rc.Total = clampTotal(cfg.C0*rc.Thr - cfg.C1*rc.Lat - cfg.C2*rc.Loss - maxMinWeight*rc.Fair)
+	return rc
+}
+
+// alphaShareFloor bounds per-flow normalized shares away from zero so the
+// α ≥ 1 utilities (log, negative powers) stay finite: a silent flow scores
+// the utility of 1/1000th of its fair share, not −∞.
+const alphaShareFloor = 1e-3
+
+// AlphaFairStrategy is the α-fair welfare objective over normalized shares
+// x_i = thr_i·n/c (1.0 = the flow's full fair share):
+//
+//	U_α(x) = x^(1−α)/(1−α)  (α ≠ 1),   U_1(x) = ln x
+//	W = mean_i U_α(max(x_i, 1e-3)),  Total = clamp(C0·W − C1·Lat − C2·Loss)
+//
+// α sweeps the classic spectrum: α = 0 is throughput maximization (W equals
+// the paper's utilization term exactly, making C0·W scale-compatible),
+// α = 1 proportional fairness, α → ∞ approaches max-min. Components: Fair
+// carries the Jensen gap U_α(x̄) − W ≥ 0 — zero iff shares are equal, so it
+// plays the role of the paper's spread term with the concavity the
+// strategy's α dictates.
+type AlphaFairStrategy struct {
+	Alpha float64
+}
+
+// Name implements RewardStrategy. The parameter is part of the identity:
+// a checkpoint trained at α=2 must not resume at α=1.
+func (s AlphaFairStrategy) Name() string {
+	return "alpha:" + strconv.FormatFloat(s.Alpha, 'g', -1, 64)
+}
+
+// utility is U_α with the share floor applied. The floor only engages for
+// α ≥ 1, where U_α diverges at zero; for α < 1 the utility is finite at
+// x = 0 and flooring would break concavity (a starved flow would score
+// better than its actual share warrants, inverting the equal-beats-unequal
+// property the sweep in internal/check pins down).
+func (s AlphaFairStrategy) utility(x float64) float64 {
+	if s.Alpha >= 1 && x < alphaShareFloor {
+		x = alphaShareFloor
+	}
+	if s.Alpha == 1 {
+		return math.Log(x)
+	}
+	return math.Pow(x, 1-s.Alpha) / (1 - s.Alpha)
+}
+
+// Evaluate implements RewardStrategy.
+func (s AlphaFairStrategy) Evaluate(cfg Config, flows []FlowObs, link LinkInfo) RewardComponents {
+	var rc RewardComponents
+	n := len(flows)
+	if n == 0 || link.Bandwidth <= 0 {
+		return rc
+	}
+	fairShare := link.Bandwidth / float64(n)
+	var sumThr, sumLoss, welfare, meanShare float64
+	for _, f := range flows {
+		sumThr += f.TputBps
+		sumLoss += lossFraction(f)
+		x := f.TputBps / fairShare
+		welfare += s.utility(x)
+		meanShare += x
+	}
+	welfare /= float64(n)
+	meanShare /= float64(n)
+	rc.Thr = sumThr / link.Bandwidth
+	rc.Loss = sumLoss / float64(n)
+	rc.Lat = queueRatio(cfg, flows, link)
+	if s.Alpha > 0 {
+		// Jensen gap: zero iff all shares are equal, grows with spread.
+		if gap := s.utility(meanShare) - welfare; gap > 0 {
+			rc.Fair = gap
+		}
+	}
+	rc.Total = clampTotal(cfg.C0*welfare - cfg.C1*rc.Lat - cfg.C2*rc.Loss)
+	return rc
+}
+
+// DistillDelta maps a reward strategy to the reference-policy
+// aggressiveness (Delta) used when distilling a deployable actor for that
+// strategy: Delta is the policy-side fairness control surface (§5.5 /
+// Fig. 18 — the equilibrium standing queue per flow is n·MSS·8/(Δ·c), so a
+// larger Δ holds a smaller per-flow queue and converges to equal shares
+// faster at some throughput cost). The paper strategy keeps the base value
+// so default distillation stays bit-identical; throughput-leaning
+// objectives (aurora, α → 0) relax it, worst-flow-protective ones (maxmin,
+// large α) tighten it, capped at 2× within the Fig. 18-validated range.
+func DistillDelta(s RewardStrategy, base float64) float64 {
+	switch st := s.(type) {
+	case PaperStrategy:
+		return base
+	case AuroraStrategy:
+		return base * 0.5
+	case MaxMinStrategy:
+		return base * 2
+	case AlphaFairStrategy:
+		m := 1.0
+		if st.Alpha <= 1 {
+			m = 0.5 + 0.5*st.Alpha // α=0 → 0.5, α=1 → 1
+		} else {
+			m = 1 + (st.Alpha-1)/4 // α=5 → 2
+			if m > 2 {
+				m = 2
+			}
+		}
+		return base * m
+	default:
+		return base
+	}
+}

@@ -39,6 +39,11 @@ func (l *Learner) SaveCheckpoint(path string) error {
 	}
 	e.Bytes(cfgJSON)
 	e.Bytes(distJSON)
+	// The reward-strategy identity is recorded explicitly (not only inside
+	// the config JSON) so LoadLearner can refuse a strategy mismatch with a
+	// first-class error before any training state is interpreted: a learner
+	// trained under one objective must never silently resume under another.
+	e.Bytes([]byte(l.Cfg.RewardName()))
 	l.Trainer.Encode(e)
 	l.Replay.Encode(e)
 	e.Int(l.Episodes)
@@ -68,6 +73,7 @@ func LoadLearner(path string) (*Learner, error) {
 	d := ckpt.NewDecoder(payload)
 	cfgJSON := d.Bytes()
 	distJSON := d.Bytes()
+	strategyName := string(d.Bytes())
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -78,6 +84,17 @@ func LoadLearner(path string) (*Learner, error) {
 	var dist TrainingDistribution
 	if err := json.Unmarshal(distJSON, &dist); err != nil {
 		return nil, fmt.Errorf("env: checkpoint training distribution: %w", err)
+	}
+	// Strategy identity: the recorded name must resolve to a registered
+	// strategy and agree with the config it rode in with. Either failure is
+	// a refusal, not a fallback — resuming under a different objective
+	// would silently re-point the critic at a different reward surface.
+	if _, err := core.NewRewardStrategy(strategyName); err != nil {
+		return nil, fmt.Errorf("env: checkpoint reward strategy: %w", err)
+	}
+	if got := cfg.RewardName(); got != strategyName {
+		return nil, fmt.Errorf("env: checkpoint trained under reward strategy %q but its config says %q — refusing to resume",
+			strategyName, got)
 	}
 	trainer, err := rl.DecodeTrainer(d)
 	if err != nil {

@@ -1,26 +1,30 @@
 package env
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/rl"
-	"repro/internal/rng"
 )
 
 // tinyLearner builds a learner small enough to train real episodes in test
 // time while still exercising every piece of checkpointed state: episodes
 // run long enough for update rounds, the batch is small enough that the
 // replay fills within one episode, and PolicyDelay makes the delayed-actor
-// schedule observable across the checkpoint boundary.
-func tinyLearner(seed int64) *Learner {
+// schedule observable across the checkpoint boundary. reward names the
+// strategy ("" = paper).
+func tinyLearner(seed int64, reward string) *Learner {
 	cfg := core.DefaultConfig()
 	cfg.BatchSize = 48
 	cfg.ModelUpdateInterval = 2
 	cfg.ModelUpdateSteps = 4
+	cfg.Reward = reward
 	rlCfg := rl.DefaultConfig(cfg.StateDim(), core.GlobalFeatureDim, 1)
 	rlCfg.Gamma = cfg.Gamma
 	rlCfg.ActorLR = cfg.LearningRate
@@ -30,13 +34,7 @@ func tinyLearner(seed int64) *Learner {
 	dist := DefaultTrainingDistribution()
 	dist.MinFlows, dist.MaxFlows = 2, 2
 	dist.EpisodeDuration = 4
-	return &Learner{
-		Cfg:     cfg,
-		Dist:    dist,
-		Trainer: rl.NewTrainer(rlCfg, rng.Fold(seed, streamTrainer)),
-		Replay:  rl.NewReplayBuffer(4000),
-		rng:     rng.New(rng.Fold(seed, streamEpisode)),
-	}
+	return NewLearnerRL(cfg, dist, rlCfg, 4000, seed)
 }
 
 func actorBits(l *Learner) []uint64 {
@@ -55,51 +53,146 @@ func actorBits(l *Learner) []uint64 {
 // The tentpole guarantee: training N episodes, checkpointing, restoring
 // into a fresh learner (standing in for a fresh process — the checkpoint
 // file is the only carried-over state), and training N more yields actor
-// weights bitwise-identical to an uninterrupted 2N-episode run.
+// weights bitwise-identical to an uninterrupted 2N-episode run. The
+// guarantee is strategy-independent: a learner trained under a non-default
+// reward strategy must resume exactly as faithfully as the paper default.
 func TestResumeDeterminismBitwise(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains real episodes")
 	}
-	const n = 2
-	path := filepath.Join(t.TempDir(), "train.ckpt")
+	for _, reward := range []string{"", "maxmin"} {
+		reward := reward
+		name := reward
+		if name == "" {
+			name = "paper"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const n = 2
+			path := filepath.Join(t.TempDir(), "train.ckpt")
 
-	interrupted := tinyLearner(7)
-	interrupted.Train(n)
-	if err := interrupted.SaveCheckpoint(path); err != nil {
+			interrupted := tinyLearner(7, reward)
+			interrupted.Train(n)
+			if err := interrupted.SaveCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := LoadLearner(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Episodes != n {
+				t.Fatalf("resumed at episode %d, want %d", resumed.Episodes, n)
+			}
+			if got := resumed.StrategyName(); got != core.MustRewardStrategy(reward).Name() {
+				t.Fatalf("resumed strategy %q, want %q", got, core.MustRewardStrategy(reward).Name())
+			}
+			resumed.Train(n)
+
+			uninterrupted := tinyLearner(7, reward)
+			uninterrupted.Train(2 * n)
+
+			got, want := actorBits(resumed), actorBits(uninterrupted)
+			if len(got) != len(want) {
+				t.Fatalf("actor has %d parameters resumed, %d uninterrupted", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("actor parameter %d differs after resume: %x != %x", i, got[i], want[i])
+				}
+			}
+			if len(resumed.RewardHistory) != 2*n {
+				t.Fatalf("resumed reward history has %d entries, want %d", len(resumed.RewardHistory), 2*n)
+			}
+			for i, r := range resumed.RewardHistory {
+				if r != uninterrupted.RewardHistory[i] {
+					t.Fatalf("reward history diverged at episode %d: %v != %v", i, r, uninterrupted.RewardHistory[i])
+				}
+			}
+			if resumed.Trainer.LastCriticLoss != uninterrupted.Trainer.LastCriticLoss {
+				t.Fatalf("critic loss diverged: %v != %v",
+					resumed.Trainer.LastCriticLoss, uninterrupted.Trainer.LastCriticLoss)
+			}
+		})
+	}
+}
+
+// Distinct strategies must produce distinct training trajectories from the
+// same seed — otherwise the strategy plumbing is dead code and the fairness
+// lab compares noise.
+func TestStrategiesDivergeTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real episodes")
+	}
+	paper := tinyLearner(7, "")
+	paper.Train(1)
+	aurora := tinyLearner(7, "aurora")
+	aurora.Train(1)
+	if paper.RewardHistory[0] == aurora.RewardHistory[0] {
+		t.Fatalf("paper and aurora episode rewards identical (%v): strategy not reaching the environment",
+			paper.RewardHistory[0])
+	}
+}
+
+// A checkpoint records its reward strategy and refuses to resume under a
+// different one: the loader rejects a tampered or stale strategy field, and
+// the byte layout pins where the identity lives.
+func TestCheckpointStrategyMismatchRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a real episode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "train.ckpt")
+	l := tinyLearner(11, "alpha:2")
+	l.Train(1)
+	if err := l.SaveCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := LoadLearner(path)
+
+	// Control: the untouched checkpoint loads and carries its identity.
+	ok, err := LoadLearner(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resumed.Episodes != n {
-		t.Fatalf("resumed at episode %d, want %d", resumed.Episodes, n)
+	if ok.StrategyName() != "alpha:2" {
+		t.Fatalf("loaded strategy %q, want alpha:2", ok.StrategyName())
 	}
-	resumed.Train(n)
 
-	uninterrupted := tinyLearner(7)
-	uninterrupted.Train(2 * n)
+	// Rewrite the explicit strategy-identity field (the last occurrence of
+	// the name — the first lives inside the config JSON) to a different
+	// registered strategy: the loader must refuse the mismatch rather than
+	// train against the wrong objective. An equal-length replacement keeps
+	// the field layout valid; re-wrapping through ckpt.WriteFile refreshes
+	// the container CRC so only the semantic check can reject it.
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.LastIndex(payload, []byte("alpha:2"))
+	if idx < 0 {
+		t.Fatal("strategy name not found in checkpoint payload")
+	}
+	copy(payload[idx:], []byte("alpha:3")) // same length, different identity
+	mut := filepath.Join(dir, "mut.ckpt")
+	if _, err := ckpt.WriteFile(mut, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadLearner(mut)
+	if err == nil {
+		t.Fatal("checkpoint with mismatched strategy identity was loaded")
+	}
+	if !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("mismatch error %q does not explain the refusal", err)
+	}
 
-	got, want := actorBits(resumed), actorBits(uninterrupted)
-	if len(got) != len(want) {
-		t.Fatalf("actor has %d parameters resumed, %d uninterrupted", len(got), len(want))
+	// An unresolvable name in the identity field is refused even before the
+	// cross-check against the config.
+	copy(payload[idx:], []byte("badbad!"))
+	mut2 := filepath.Join(dir, "mut2.ckpt")
+	if _, err := ckpt.WriteFile(mut2, payload); err != nil {
+		t.Fatal(err)
 	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("actor parameter %d differs after resume: %x != %x", i, got[i], want[i])
-		}
-	}
-	if len(resumed.RewardHistory) != 2*n {
-		t.Fatalf("resumed reward history has %d entries, want %d", len(resumed.RewardHistory), 2*n)
-	}
-	for i, r := range resumed.RewardHistory {
-		if r != uninterrupted.RewardHistory[i] {
-			t.Fatalf("reward history diverged at episode %d: %v != %v", i, r, uninterrupted.RewardHistory[i])
-		}
-	}
-	if resumed.Trainer.LastCriticLoss != uninterrupted.Trainer.LastCriticLoss {
-		t.Fatalf("critic loss diverged: %v != %v",
-			resumed.Trainer.LastCriticLoss, uninterrupted.Trainer.LastCriticLoss)
+	if _, err := LoadLearner(mut2); err == nil {
+		t.Fatal("checkpoint with unknown strategy name was loaded")
 	}
 }
 
@@ -111,7 +204,7 @@ func TestLoadLearnerIsPure(t *testing.T) {
 		t.Skip("trains real episodes")
 	}
 	path := filepath.Join(t.TempDir(), "train.ckpt")
-	l := tinyLearner(3)
+	l := tinyLearner(3, "")
 	l.Train(1)
 	if err := l.SaveCheckpoint(path); err != nil {
 		t.Fatal(err)
@@ -145,7 +238,7 @@ func TestLoadLearnerRejectsTruncation(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "train.ckpt")
-	l := tinyLearner(5)
+	l := tinyLearner(5, "")
 	l.Train(1)
 	if err := l.SaveCheckpoint(path); err != nil {
 		t.Fatal(err)

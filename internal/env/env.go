@@ -119,6 +119,7 @@ type flowTracker struct {
 // trackers directly, preserving the same information flow.
 type Observer struct {
 	cfg      core.Config
+	strategy core.RewardStrategy
 	link     LinkFacts
 	trackers []*flowTracker
 }
@@ -172,7 +173,8 @@ func (o *Observer) GlobalState() core.GlobalState {
 	return g
 }
 
-// Reward evaluates Eqs. 4–8 over the current world observation.
+// Reward evaluates the configured reward strategy (cfg.Reward; the paper's
+// Eqs. 4–8 by default) over the current world observation.
 func (o *Observer) Reward() core.RewardComponents {
 	var obs []core.FlowObs
 	for _, tr := range o.trackers {
@@ -188,7 +190,10 @@ func (o *Observer) Reward() core.RewardComponents {
 			PacingBps:   st.PacingBps,
 		})
 	}
-	return core.Reward(o.cfg, obs, core.LinkInfo{
+	if o.strategy == nil {
+		o.strategy = core.MustRewardStrategy(o.cfg.Reward)
+	}
+	return o.strategy.Evaluate(o.cfg, obs, core.LinkInfo{
 		Bandwidth: o.link.Bandwidth,
 		BaseOWD:   o.link.BaseOWD,
 	})
@@ -228,6 +233,10 @@ func RunEpisode(cfg EpisodeConfig, agentCfg core.Config, policy core.Policy,
 
 	obs := &Observer{
 		cfg: agentCfg,
+		// Resolve once per episode; MustRewardStrategy is the contract that
+		// agentCfg.Reward was validated upstream (CLI flag parsing,
+		// NewLearner, or the checkpoint loader).
+		strategy: core.MustRewardStrategy(agentCfg.Reward),
 		link: LinkFacts{
 			Bandwidth: cfg.RateBps,
 			BaseOWD:   cfg.BaseRTT / 2,

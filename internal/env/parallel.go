@@ -45,8 +45,10 @@ func (p *ParallelLearner) Instrument(reg *telemetry.Registry) {
 }
 
 // NewParallelLearner builds the learner with the given worker count
-// (minimum 1).
+// (minimum 1). As with NewLearner, cfg.Reward must name a registered
+// reward strategy; unknown names panic at construction.
 func NewParallelLearner(cfg core.Config, dist TrainingDistribution, seed int64, workers int) *ParallelLearner {
+	core.MustRewardStrategy(cfg.Reward)
 	if workers < 1 {
 		workers = 1
 	}

@@ -53,21 +53,37 @@ func (l *Learner) Instrument(reg *telemetry.Registry) {
 	l.Trainer.Instrument(reg)
 }
 
-// NewLearner builds a learner with fresh networks.
+// NewLearner builds a learner with fresh networks. cfg.Reward must name a
+// registered reward strategy (empty = paper default); an unknown name
+// panics here, at construction, rather than mid-episode — CLI entry points
+// validate the flag with core.NewRewardStrategy first and report a proper
+// error.
 func NewLearner(cfg core.Config, dist TrainingDistribution, seed int64) *Learner {
 	rlCfg := rl.DefaultConfig(cfg.StateDim(), core.GlobalFeatureDim, 1)
 	rlCfg.Gamma = cfg.Gamma
 	rlCfg.ActorLR = cfg.LearningRate
 	rlCfg.CriticLR = cfg.LearningRate
 	rlCfg.Batch = cfg.BatchSize
+	return NewLearnerRL(cfg, dist, rlCfg, 200000, seed)
+}
+
+// NewLearnerRL is NewLearner with the TD3 configuration and replay capacity
+// exposed: the fairness lab trains many short-budget learners and needs
+// networks far smaller than the paper's 256/128/64 default.
+func NewLearnerRL(cfg core.Config, dist TrainingDistribution, rlCfg rl.Config, replayCap int, seed int64) *Learner {
+	core.MustRewardStrategy(cfg.Reward) // fail at construction, not mid-episode
 	return &Learner{
 		Cfg:     cfg,
 		Dist:    dist,
 		Trainer: rl.NewTrainer(rlCfg, rng.Fold(seed, streamTrainer)),
-		Replay:  rl.NewReplayBuffer(200000),
+		Replay:  rl.NewReplayBuffer(replayCap),
 		rng:     rng.New(rng.Fold(seed, streamEpisode)),
 	}
 }
+
+// StrategyName returns the canonical name of the reward strategy this
+// learner optimizes (the identity recorded in checkpoints).
+func (l *Learner) StrategyName() string { return l.Cfg.RewardName() }
 
 // Policy returns the current actor wrapped as a deployment policy.
 func (l *Learner) Policy() *core.MLPPolicy {

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// tinyLab is the smallest lab that still trains and evaluates real policies.
+func tinyLab() FairnessLabOptions {
+	opts := DefaultFairnessLabOptions()
+	opts.Strategies = []string{"paper", "aurora"}
+	opts.Episodes = 1
+	opts.Hidden = []int{8}
+	opts.EvalDuration = 2
+	return opts
+}
+
+func TestFairnessLabReportWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real learners")
+	}
+	rep, err := RunFairnessLab(tinyLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 2 {
+		t.Fatalf("outcomes: %d, want 2", len(rep.Outcomes))
+	}
+	for i, o := range rep.Outcomes {
+		if o.Rank != i+1 {
+			t.Errorf("outcome %d has rank %d", i, o.Rank)
+		}
+		if i > 0 && o.Score > rep.Outcomes[i-1].Score {
+			t.Errorf("outcomes not sorted by score: %.4f after %.4f", o.Score, rep.Outcomes[i-1].Score)
+		}
+		if o.JainMean < 0 || o.JainMean > 1 {
+			t.Errorf("%s JainMean %.4f outside [0,1]", o.Strategy, o.JainMean)
+		}
+		if o.Utilization < 0 || o.Utilization > 1.5 {
+			t.Errorf("%s Utilization %.4f implausible", o.Strategy, o.Utilization)
+		}
+		if o.ThroughputCost < 0 {
+			t.Errorf("%s ThroughputCost %.4f negative", o.Strategy, o.ThroughputCost)
+		}
+		if o.ConvergenceEpisodes < 1 || o.ConvergenceEpisodes > rep.Episodes {
+			t.Errorf("%s converged in %d episodes of %d", o.Strategy, o.ConvergenceEpisodes, rep.Episodes)
+		}
+		if len(o.RewardHistory) != rep.Episodes {
+			t.Errorf("%s reward history has %d entries, want %d", o.Strategy, len(o.RewardHistory), rep.Episodes)
+		}
+		if len(o.JainSeries) == 0 {
+			t.Errorf("%s has an empty Jain series", o.Strategy)
+		}
+	}
+	for _, s := range []string{"paper", "aurora"} {
+		if rep.Actors[s] == nil {
+			t.Errorf("no trained actor recorded for %s", s)
+		}
+	}
+
+	// The JSON view round-trips the outcomes and omits the actor networks.
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FairnessLabReport
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Outcomes, rep.Outcomes) {
+		t.Fatal("outcomes did not survive the JSON round-trip")
+	}
+	if back.Actors != nil {
+		t.Fatal("actor networks leaked into the JSON report")
+	}
+
+	tbl := rep.Table()
+	if len(tbl.Rows) != len(rep.Outcomes) {
+		t.Fatalf("table has %d rows, want %d", len(tbl.Rows), len(rep.Outcomes))
+	}
+}
+
+// The lab is a pure function of its options: worker count must not leak into
+// any outcome.
+func TestFairnessLabDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real learners twice")
+	}
+	serial := tinyLab()
+	serial.Workers = 1
+	a, err := RunFairnessLab(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOpts := tinyLab()
+	parallelOpts.Workers = 2
+	b, err := RunFairnessLab(parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Fatal("lab outcomes differ across worker counts")
+	}
+}
+
+func TestFairnessLabRejectsBadOptions(t *testing.T) {
+	if _, err := RunFairnessLab(FairnessLabOptions{Episodes: 1}); err == nil {
+		t.Error("lab with no strategies accepted")
+	}
+	opts := DefaultFairnessLabOptions()
+	opts.Episodes = 0
+	if _, err := RunFairnessLab(opts); err == nil {
+		t.Error("lab with zero episode budget accepted")
+	}
+	opts = DefaultFairnessLabOptions()
+	opts.Strategies = []string{"paper", "nope"}
+	if _, err := RunFairnessLab(opts); err == nil {
+		t.Error("lab with unknown strategy accepted")
+	}
+}
+
+func TestConvergenceEpisodes(t *testing.T) {
+	cases := []struct {
+		name string
+		hist []float64
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.5}, 1},
+		{"never improves", []float64{1, 0.5, 0.2}, 1},
+		// Step at episode 2; the 3-episode smoothing window reaches 90% of
+		// the improvement only once the pre-step value falls out of it.
+		{"step", []float64{0, 1, 1, 1}, 4},
+		{"gradual", []float64{0, 0.25, 0.5, 0.75, 1}, 5},
+	}
+	for _, c := range cases {
+		if got := convergenceEpisodes(c.hist); got != c.want {
+			t.Errorf("%s: convergenceEpisodes = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeStrategyFilename(t *testing.T) {
+	if got := SanitizeStrategyFilename("alpha:2.5"); got != "alpha_2.5" {
+		t.Errorf("sanitized to %q", got)
+	}
+	if got := SanitizeStrategyFilename("paper"); got != "paper" {
+		t.Errorf("sanitized to %q", got)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// tableDigest folds a table's identity, columns and cells into FNV-64a with
+// positional separators (Note excluded: it may carry commentary).
+func tableDigest(t *Table) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.ID))
+	for _, c := range t.Columns {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	for _, row := range t.Rows {
+		h.Write([]byte{1})
+		for _, cell := range row {
+			h.Write([]byte{2})
+			h.Write([]byte(cell))
+		}
+	}
+	return h.Sum64()
+}
+
+// Pre-refactor golden digests, captured at commit 18e70a6 immediately before
+// the RewardStrategy interface was extracted. The default (paper) strategy
+// must keep these reward-consuming experiments digest-identical: any drift
+// here means the refactor changed the numbers, not just the plumbing.
+const (
+	goldenFig4Digest  uint64 = 0x9ef89f636b8b1c1e
+	goldenFig18Digest uint64 = 0xe0ae3827f7651edf
+)
+
+func TestFigure4GoldenDigest(t *testing.T) {
+	if got := tableDigest(ExpFigure4(Opts{})); got != goldenFig4Digest {
+		t.Fatalf("fig4 digest %#x, want pre-refactor golden %#x", got, goldenFig4Digest)
+	}
+}
+
+func TestFigure18GoldenDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden")
+	}
+	got := tableDigest(ExpFigure18(Opts{Trials: 1, TimeScale: 0.25}))
+	if got != goldenFig18Digest {
+		t.Fatalf("fig18 digest %#x, want pre-refactor golden %#x", got, goldenFig18Digest)
+	}
+}

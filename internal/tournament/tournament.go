@@ -19,15 +19,30 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
+// ActorSpec enters a pre-trained Astraea policy as a tournament competitor
+// under its own name: every flow in the entry's cells runs a core.Agent
+// driving the loaded actor network. This is how fairness-lab policies —
+// trained under different reward strategies — compete head-to-head with the
+// registered schemes and each other.
+type ActorSpec struct {
+	// Name labels the entry in cells and rankings (e.g. "maxmin").
+	Name string
+	// Path is a weight file readable by core.LoadPolicy.
+	Path string
+}
+
 // Config parameterizes one tournament.
 type Config struct {
 	// Schemes to enter; empty means every registered scheme.
 	Schemes []string
+	// Actors are additional entries backed by trained policy files.
+	Actors []ActorSpec
 	// Families to run; empty means all (see FamilyNames).
 	Families []string
 	// Flows per scenario (default 8).
@@ -42,6 +57,10 @@ type Config struct {
 	// Check attaches the invariant checker to every cell and reports the
 	// violation count alongside the scores.
 	Check bool
+
+	// actorPolicies holds the loaded actor networks, index-aligned with
+	// Actors (populated by normalize).
+	actorPolicies []*core.MLPPolicy
 }
 
 // Cell is one scheme × family run, scored.
@@ -65,9 +84,11 @@ type Standing struct {
 	ByFam  map[string]float64 `json:"by_family"`
 }
 
-// Report is a completed tournament.
+// Report is a completed tournament. Schemes lists every entry — registered
+// schemes first, then actor entries (also named in Actors).
 type Report struct {
 	Schemes  []string   `json:"schemes"`
+	Actors   []string   `json:"actors,omitempty"`
 	Families []string   `json:"families"`
 	Flows    int        `json:"flows"`
 	Duration float64    `json:"duration_seconds"`
@@ -147,6 +168,25 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("scheme %q: %w", s, err)
 		}
 	}
+	seen := make(map[string]bool, len(c.Schemes)+len(c.Actors))
+	for _, s := range c.Schemes {
+		seen[s] = true
+	}
+	c.actorPolicies = make([]*core.MLPPolicy, len(c.Actors))
+	for i, a := range c.Actors {
+		if a.Name == "" {
+			return fmt.Errorf("actor %d (%s): empty entry name", i, a.Path)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("actor %q collides with another entry", a.Name)
+		}
+		seen[a.Name] = true
+		p, err := core.LoadPolicy(a.Path, core.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("actor %q: %w", a.Name, err)
+		}
+		c.actorPolicies[i] = p
+	}
 	if len(c.Families) == 0 {
 		c.Families = FamilyNames()
 	}
@@ -178,6 +218,20 @@ func Run(cfg Config) (*Report, error) {
 		byName[f.name] = f
 	}
 
+	// entry is one competitor: a registered scheme, or a loaded actor
+	// policy entered under its own name.
+	type entry struct {
+		name   string
+		policy *core.MLPPolicy // nil for plain schemes
+	}
+	entries := make([]entry, 0, len(cfg.Schemes)+len(cfg.Actors))
+	for _, s := range cfg.Schemes {
+		entries = append(entries, entry{name: s})
+	}
+	for i, a := range cfg.Actors {
+		entries = append(entries, entry{name: a.Name, policy: cfg.actorPolicies[i]})
+	}
+
 	type job struct {
 		scheme, fam string
 		baseRTT     float64
@@ -190,14 +244,30 @@ func Run(cfg Config) (*Report, error) {
 		// Seed depends on the family, not the scheme: every scheme competes
 		// on the identical draw.
 		seed := cfg.Seed + int64(fi)*1000
-		for _, scheme := range cfg.Schemes {
-			sc := fam.build(cfg, scheme, seed)
+		for _, e := range entries {
+			// Actor entries reuse a registered scheme's scenario skeleton —
+			// topology, seed, and flow schedule are scheme-independent —
+			// then swap every flow's controller for an agent driving the
+			// loaded policy. One policy clone per scenario: the MLP forward
+			// pass shares scratch buffers, and batch cells run concurrently.
+			buildScheme := e.name
+			if e.policy != nil {
+				buildScheme = cfg.Schemes[0]
+			}
+			sc := fam.build(cfg, buildScheme, seed)
+			if e.policy != nil {
+				p := core.ClonePolicy(e.policy)
+				for i := range sc.Flows {
+					sc.Flows[i].Scheme = ""
+					sc.Flows[i].CC = core.NewAgent(core.DefaultConfig(), p)
+				}
+			}
 			var ck *check.Checker
 			if cfg.Check {
 				ck = check.NewChecker()
 				ck.Attach(&sc)
 			}
-			jobs = append(jobs, job{scheme: scheme, fam: famName, baseRTT: sc.BaseRTT})
+			jobs = append(jobs, job{scheme: e.name, fam: famName, baseRTT: sc.BaseRTT})
 			scenarios = append(scenarios, sc)
 			checkers = append(checkers, ck)
 		}
@@ -208,8 +278,16 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	entryNames := make([]string, len(entries))
+	for i, e := range entries {
+		entryNames[i] = e.name
+	}
+	actorNames := make([]string, len(cfg.Actors))
+	for i, a := range cfg.Actors {
+		actorNames[i] = a.Name
+	}
 	rep := &Report{
-		Schemes: cfg.Schemes, Families: cfg.Families,
+		Schemes: entryNames, Actors: actorNames, Families: cfg.Families,
 		Flows: cfg.Flows, Duration: cfg.Duration, Seed: cfg.Seed,
 	}
 	for i, res := range results {

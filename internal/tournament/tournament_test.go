@@ -2,9 +2,13 @@ package tournament
 
 import (
 	"bytes"
+	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/nn"
 )
 
 // small returns a grid trimmed for test wall-clock but still covering every
@@ -86,6 +90,108 @@ func TestTournamentCheckedCellsHoldInvariants(t *testing.T) {
 		if c.Violations != 0 {
 			t.Errorf("cell %s/%s: %d invariant violations", c.Scheme, c.Family, c.Violations)
 		}
+	}
+}
+
+// savedActor writes a small random-but-valid policy file and returns its
+// path (standing in for a fairness-lab trained actor).
+func savedActor(t *testing.T, seed int64) string {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewMLP(rng, nn.ReLU, nn.Tanh, cfg.StateDim(), 8, 1)
+	path := filepath.Join(t.TempDir(), "actor.json")
+	if err := core.SavePolicy(path, net); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// An actor entry competes in every family under its own name, alongside the
+// registered schemes, and lands in the ranking like any other entry.
+func TestTournamentActorEntries(t *testing.T) {
+	cfg := small()
+	cfg.Schemes = []string{"cubic", "reno"}
+	cfg.Actors = []ActorSpec{{Name: "lab-maxmin", Path: savedActor(t, 4)}}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(rep.Families); len(rep.Cells) != want {
+		t.Fatalf("cells: %d, want entries × families = %d", len(rep.Cells), want)
+	}
+	if len(rep.Actors) != 1 || rep.Actors[0] != "lab-maxmin" {
+		t.Fatalf("report actors = %v, want [lab-maxmin]", rep.Actors)
+	}
+	var actorCells int
+	found := false
+	for _, st := range rep.Ranking {
+		if st.Scheme == "lab-maxmin" {
+			found = true
+			if len(st.ByFam) != len(rep.Families) {
+				t.Errorf("actor scored %d families, want %d", len(st.ByFam), len(rep.Families))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("actor entry missing from ranking")
+	}
+	for _, c := range rep.Cells {
+		if c.Scheme != "lab-maxmin" {
+			continue
+		}
+		actorCells++
+		if c.Score < 0 || c.Score > 1 {
+			t.Errorf("actor cell %s score %.4f outside [0,1]", c.Family, c.Score)
+		}
+	}
+	if actorCells != len(rep.Families) {
+		t.Fatalf("actor has %d cells, want one per family (%d)", actorCells, len(rep.Families))
+	}
+}
+
+// Actor cells must be byte-deterministic across worker counts, like scheme
+// cells: each scenario gets its own policy clone, so concurrency must not
+// leak through shared network scratch.
+func TestTournamentActorDeterministic(t *testing.T) {
+	path := savedActor(t, 6)
+	run := func(workers int) []byte {
+		cfg := small()
+		cfg.Schemes = []string{"cubic"}
+		cfg.Actors = []ActorSpec{{Name: "lab", Path: path}}
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(1), run(4); !bytes.Equal(a, b) {
+		t.Fatal("actor cells differ across worker counts")
+	}
+}
+
+func TestTournamentActorValidation(t *testing.T) {
+	path := savedActor(t, 8)
+	if _, err := Run(Config{Schemes: []string{"cubic"},
+		Actors: []ActorSpec{{Name: "", Path: path}}}); err == nil {
+		t.Error("actor with empty name accepted")
+	}
+	if _, err := Run(Config{Schemes: []string{"cubic"},
+		Actors: []ActorSpec{{Name: "cubic", Path: path}}}); err == nil {
+		t.Error("actor colliding with a scheme name accepted")
+	}
+	if _, err := Run(Config{Schemes: []string{"cubic"}, Actors: []ActorSpec{
+		{Name: "a", Path: path}, {Name: "a", Path: path}}}); err == nil {
+		t.Error("duplicate actor names accepted")
+	}
+	if _, err := Run(Config{Schemes: []string{"cubic"},
+		Actors: []ActorSpec{{Name: "a", Path: filepath.Join(t.TempDir(), "missing.json")}}}); err == nil {
+		t.Error("actor with unreadable weight file accepted")
 	}
 }
 

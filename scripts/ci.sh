@@ -84,6 +84,22 @@ grep -Eq '^2 +(cubic|reno) ' "$SMOKE/tourney.txt" || { echo "ci: tournament tabl
 [ -s "$SMOKE/tourney/tournament.txt" ]  || { echo "ci: tournament.txt missing"; exit 1; }
 grep -q '"ranking"' "$SMOKE/tourney/tournament.json" || { echo "ci: tournament.json has no ranking"; exit 1; }
 
+# Fairness-lab smoke: the reward-strategy ablation binary on a tiny budget
+# (2 strategies × 2 episodes), then the saved actor entered into a
+# tournament — the full trained-under-strategy-X-competes-as-itself loop
+# through the real binaries.
+go build -o "$SMOKE/astraea-fairlab" ./cmd/astraea-fairlab
+"$SMOKE/astraea-fairlab" -strategies paper,maxmin -episodes 2 \
+    -out "$SMOKE/fairlab" -actors "$SMOKE/fairlab-actors" >"$SMOKE/fairlab.txt"
+grep -Eq '^1 +(paper|maxmin) ' "$SMOKE/fairlab.txt" || { echo "ci: fairlab table has no rank-1 row"; cat "$SMOKE/fairlab.txt"; exit 1; }
+grep -Eq '^2 +(paper|maxmin) ' "$SMOKE/fairlab.txt" || { echo "ci: fairlab table has no rank-2 row"; cat "$SMOKE/fairlab.txt"; exit 1; }
+grep -q '"outcomes"' "$SMOKE/fairlab.json" || { echo "ci: fairlab.json has no outcomes"; exit 1; }
+[ -s "$SMOKE/fairlab.txt" ] || { echo "ci: fairlab.txt missing"; exit 1; }
+[ -s "$SMOKE/fairlab-actors/maxmin.json" ] || { echo "ci: fairlab saved no maxmin actor"; exit 1; }
+"$SMOKE/astraea-tournament" -schemes cubic -families steady -flows 3 -duration 1 \
+    -actors "lab-maxmin=$SMOKE/fairlab-actors/maxmin.json" -out "" >"$SMOKE/fairtourney.txt"
+grep -Eq '^[12] +lab-maxmin ' "$SMOKE/fairtourney.txt" || { echo "ci: fairlab actor missing from tournament ranking"; cat "$SMOKE/fairtourney.txt"; exit 1; }
+
 # Coverage summary: per-package statement coverage plus the total, so a PR
 # that guts a test file shows up as a number, not a feeling.
 go test -coverprofile="$COVER" ./... >/dev/null
@@ -93,6 +109,27 @@ go tool cover -func="$COVER" | awk '
   /^total:/ { total = $NF }
   END { for (k in cov) printf "coverage %-28s %5.1f%%\n", k, cov[k]/n[k] | "sort"
         close("sort"); printf "coverage %-28s %s\n", "TOTAL", total }'
+
+# Coverage floors on the packages owning the reward-strategy and
+# training/checkpoint contracts: a PR that guts their tests fails with a
+# number attached. Floors sit a few points under today's statement coverage
+# (core 89.6%, env 91.2%) so organic drift passes and gutting does not.
+awk '
+  NR > 1 { n = split($1, p, "/"); pkg = p[1]
+           for (i = 2; i < n; i++) pkg = pkg "/" p[i]
+           stmts[pkg] += $2; if ($3 > 0) hit[pkg] += $2 }
+  END {
+    floor["repro/internal/core"] = 85
+    floor["repro/internal/env"]  = 87
+    bad = 0
+    for (k in floor) {
+      if (stmts[k] == 0) { printf "ci: no coverage data for %s\n", k; bad = 1; continue }
+      pct = 100 * hit[k] / stmts[k]
+      printf "coverage floor %-24s %5.1f%% (floor %d%%)\n", k, pct, floor[k]
+      if (pct < floor[k]) { printf "ci: %s statement coverage below floor\n", k; bad = 1 }
+    }
+    exit bad
+  }' "$COVER"
 
 # Benchmark smoke pass: one iteration of every benchmark, so a bench that
 # panics or trips its alloc regression check fails CI without paying for a
@@ -118,6 +155,10 @@ go test -race -run TestResumeDeterminismBitwise ./internal/env
 # Reproduce a failing seed with:
 #   go test ./internal/check -run TestRandomScenarioInvariants -seed=N
 go test -race -run TestRandomScenarioInvariants ./internal/check
+# Reward-strategy property sweep, named: 220 seeded random worlds per
+# strategy checking boundedness, permutation invariance, and the
+# equal-shares preference every strategy must hold. Reproduce with -seed=N.
+go test -race -run 'TestStrategyPropertySweep|TestStrategyEqualSharesPreferred|TestStrategyDegenerateInputsAreZero' ./internal/check
 # The 500-flow incast under the full invariant checker, named: this is the
 # scale workload the O(flows) fix pass targets, and the dirty-flow plumbing
 # it relies on must also be clean under the detector.

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/runner"
@@ -49,6 +50,8 @@ func main() {
 	reward := flag.String("reward", "", "reward strategy: paper (default), aurora, maxmin, alpha[:a] (e.g. alpha:2)")
 	checkpoint := flag.String("checkpoint", "", "write crash-safe training checkpoints to this path (rl mode; serial loop)")
 	checkpointEvery := flag.Int("checkpoint-every", 25, "episodes between checkpoint writes when -checkpoint is set")
+	checkpointKeep := flag.Int("checkpoint-keep", 0,
+		"rotate episode-numbered checkpoint copies (<path>.<episodes>), keeping the newest N plus the last promoted one (0 = single file, no series)")
 	resume := flag.String("resume", "", "resume rl training from this checkpoint and continue toward -episodes total")
 	telemetryOut := flag.String("telemetry", "", "write a telemetry snapshot to this path at exit (.json = JSON, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
@@ -97,7 +100,7 @@ func main() {
 	case "rl":
 		if *checkpoint != "" || *resume != "" {
 			if err := trainCheckpointed(cfg, reg, *episodes, *workers, *seed,
-				*checkpoint, *checkpointEvery, *resume, *out, rewardSet); err != nil {
+				*checkpoint, *checkpointEvery, *checkpointKeep, *resume, *out, rewardSet); err != nil {
 				fmt.Fprintln(os.Stderr, "astraea-train:", err)
 				os.Exit(1)
 			}
@@ -149,7 +152,7 @@ func main() {
 // trajectory is bitwise-identical to an uninterrupted run of the same
 // length.
 func trainCheckpointed(cfg core.Config, reg *telemetry.Registry,
-	episodes, workers int, seed int64, ckptPath string, every int, resume, out string,
+	episodes, workers int, seed int64, ckptPath string, every, keep int, resume, out string,
 	rewardSet bool) error {
 
 	if workers > 1 {
@@ -183,6 +186,18 @@ func trainCheckpointed(cfg core.Config, reg *telemetry.Registry,
 		}
 		if err := learner.SaveCheckpoint(ckptPath); err != nil {
 			return err
+		}
+		if keep > 0 {
+			// Rotated series: an episode-numbered copy beside the resume
+			// target, then prune — newest -checkpoint-keep members survive,
+			// plus the one pinned by a promotion (<path>.promoted).
+			member := ckpt.SeriesName(ckptPath, learner.Episodes)
+			if err := learner.SaveCheckpoint(member); err != nil {
+				return err
+			}
+			if _, err := ckpt.PruneSeries(ckptPath, keep, ckpt.ReadPin(ckptPath)); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(os.Stderr, "astraea-train: checkpointed episode %d to %s\n", learner.Episodes, ckptPath)
 		return nil

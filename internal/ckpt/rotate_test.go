@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestPruneSeriesRetention is the regression test for the -checkpoint-keep
+// rule: the newest N series members survive, the pinned (promoted) member
+// survives regardless of age, the resume target and unrelated files are
+// untouched, and everything else is deleted.
+func TestPruneSeriesRetention(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "train.ckpt")
+	write := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(name, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(base) // resume target, never a rotation victim
+	for _, seq := range []int{25, 50, 75, 100, 125} {
+		write(SeriesName(base, seq))
+	}
+	// Decoys that must survive: a different base, a non-numeric suffix.
+	write(filepath.Join(dir, "other.ckpt.00000010"))
+	write(base + ".bak")
+
+	// Pin the oldest member (it produced the last promoted policy).
+	if err := WritePin(base, SeriesName(base, 25)); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := PruneSeries(base, 2, ReadPin(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(removed)
+	want := []string{SeriesName(base, 50), SeriesName(base, 75)}
+	if len(removed) != len(want) || removed[0] != want[0] || removed[1] != want[1] {
+		t.Fatalf("removed %v, want %v", removed, want)
+	}
+	for _, keep := range []string{
+		base, SeriesName(base, 25), SeriesName(base, 100), SeriesName(base, 125),
+		filepath.Join(dir, "other.ckpt.00000010"), base + ".bak", PinPath(base),
+	} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("%s should have survived: %v", keep, err)
+		}
+	}
+	for _, gone := range want {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Fatalf("%s should be deleted", gone)
+		}
+	}
+
+	// Idempotent: a second prune removes nothing.
+	removed, err = PruneSeries(base, 2, ReadPin(base))
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("second prune removed %v err %v", removed, err)
+	}
+}
+
+// TestPruneSeriesBoundaries: keep larger than the series removes nothing;
+// keep 0 with no pin removes everything; an unpinned series keeps exactly N.
+func TestPruneSeriesBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "c.ckpt")
+	for _, seq := range []int{1, 2, 3} {
+		if err := os.WriteFile(SeriesName(base, seq), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed, err := PruneSeries(base, 10, ""); err != nil || len(removed) != 0 {
+		t.Fatalf("keep>len removed %v err %v", removed, err)
+	}
+	if removed, err := PruneSeries(base, 2, ""); err != nil || len(removed) != 1 || removed[0] != SeriesName(base, 1) {
+		t.Fatalf("keep 2 removed %v err %v", removed, err)
+	}
+	if removed, err := PruneSeries(base, 0, ""); err != nil || len(removed) != 2 {
+		t.Fatalf("keep 0 removed %v err %v", removed, err)
+	}
+	// ReadPin on a never-pinned base is empty, not an error.
+	if pin := ReadPin(base); pin != "" {
+		t.Fatalf("unexpected pin %q", pin)
+	}
+}

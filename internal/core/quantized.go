@@ -137,19 +137,47 @@ func LoadQuantizedPolicy(path string, cfg Config) (*QuantizedPolicy, error) {
 // quantize=false keeps the float network as loaded (the equivalence
 // oracle).
 func LoadServingPolicy(path string, cfg Config, quantize bool) (Policy, error) {
+	p, _, err := LoadServingPolicyMeta(path, cfg, quantize)
+	return p, err
+}
+
+// LoadServingPolicyMeta is LoadServingPolicy extended with generation
+// metadata: a sealed policy artifact (SaveSealedPolicy, the pilot's
+// promotion format) returns its embedded PolicyMeta alongside the policy —
+// compiled to the quantized serving form when quantize is true, the
+// quantize-on-promote path. Plain JSON weights and quantized blobs carry no
+// metadata and return nil.
+func LoadServingPolicyMeta(path string, cfg Config, quantize bool) (Policy, *PolicyMeta, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var mp *MLPPolicy
+	var meta *PolicyMeta
 	if len(data) >= len(ckpt.Magic) && string(data[:len(ckpt.Magic)]) == ckpt.Magic {
-		return LoadQuantizedPolicyBytes(data, path, cfg)
-	}
-	mp, err := parsePolicyWeights(data, path, cfg)
-	if err != nil {
-		return nil, err
+		// A ckpt container holds either a quantized blob or a sealed float
+		// artifact; the payload's leading tag discriminates.
+		payload, err := ckpt.Open(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: policy artifact %s: %w", path, err)
+		}
+		if tag := ckpt.NewDecoder(payload).Int64(); tag == sealedPolicyTag {
+			if mp, meta, err = decodeSealedPolicy(payload, path, cfg); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			qp, err := LoadQuantizedPolicyBytes(data, path, cfg)
+			return qp, nil, err
+		}
+	} else if mp, err = parsePolicyWeights(data, path, cfg); err != nil {
+		return nil, nil, err
 	}
 	if !quantize {
-		return mp, nil
+		return mp, meta, nil
 	}
-	return QuantizeMLPPolicy(mp, cfg)
+	qp, err := QuantizeMLPPolicy(mp, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qp, meta, nil
 }

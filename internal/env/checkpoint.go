@@ -6,8 +6,9 @@
 // trajectory: N episodes, a checkpoint, a restart, and N more episodes
 // produce actor weights bitwise-identical to an uninterrupted 2N-episode
 // run. That guarantee holds for the serial Learner; ParallelLearner's
-// completion order is scheduling-dependent, so deterministic resume
-// requires the serial path.
+// completion order is scheduling-dependent, so its checkpoints (same
+// on-disk format, see parallel.go) resume the trajectory statistically,
+// not bitwise.
 
 package env
 
@@ -22,6 +23,102 @@ import (
 	"repro/internal/rng"
 )
 
+// learnerState is the decoded content of a training checkpoint — the fields
+// shared by the serial Learner and the ParallelLearner, in their on-disk
+// order. Both learner kinds encode to and decode from this one layout, so a
+// checkpoint written by either can seed either (a serial run can hand off
+// to a parallel pilot and vice versa).
+type learnerState struct {
+	Cfg           core.Config
+	Dist          TrainingDistribution
+	Trainer       *rl.Trainer
+	Replay        *rl.ReplayBuffer
+	Episodes      int
+	RewardHistory []float64
+	RngHi, RngLo  uint64
+}
+
+// encodeLearnerState appends the shared checkpoint payload to e.
+func encodeLearnerState(e *ckpt.Encoder, s *learnerState) error {
+	cfgJSON, err := json.Marshal(s.Cfg)
+	if err != nil {
+		return fmt.Errorf("env: marshal config: %w", err)
+	}
+	distJSON, err := json.Marshal(s.Dist)
+	if err != nil {
+		return fmt.Errorf("env: marshal training distribution: %w", err)
+	}
+	e.Bytes(cfgJSON)
+	e.Bytes(distJSON)
+	// The reward-strategy identity is recorded explicitly (not only inside
+	// the config JSON) so decoding can refuse a strategy mismatch with a
+	// first-class error before any training state is interpreted: a learner
+	// trained under one objective must never silently resume under another.
+	e.Bytes([]byte(s.Cfg.RewardName()))
+	s.Trainer.Encode(e)
+	s.Replay.Encode(e)
+	e.Int(s.Episodes)
+	e.Float64s(s.RewardHistory)
+	e.Uint64(s.RngHi)
+	e.Uint64(s.RngLo)
+	return nil
+}
+
+// decodeLearnerState parses and validates the shared checkpoint payload. A
+// structurally invalid payload fails with a field-level error rather than
+// yielding partial state.
+func decodeLearnerState(payload []byte) (*learnerState, error) {
+	d := ckpt.NewDecoder(payload)
+	cfgJSON := d.Bytes()
+	distJSON := d.Bytes()
+	strategyName := string(d.Bytes())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s := &learnerState{}
+	if err := json.Unmarshal(cfgJSON, &s.Cfg); err != nil {
+		return nil, fmt.Errorf("env: checkpoint config: %w", err)
+	}
+	if err := json.Unmarshal(distJSON, &s.Dist); err != nil {
+		return nil, fmt.Errorf("env: checkpoint training distribution: %w", err)
+	}
+	// Strategy identity: the recorded name must resolve to a registered
+	// strategy and agree with the config it rode in with. Either failure is
+	// a refusal, not a fallback — resuming under a different objective
+	// would silently re-point the critic at a different reward surface.
+	if _, err := core.NewRewardStrategy(strategyName); err != nil {
+		return nil, fmt.Errorf("env: checkpoint reward strategy: %w", err)
+	}
+	if got := s.Cfg.RewardName(); got != strategyName {
+		return nil, fmt.Errorf("env: checkpoint trained under reward strategy %q but its config says %q — refusing to resume",
+			strategyName, got)
+	}
+	trainer, err := rl.DecodeTrainer(d)
+	if err != nil {
+		return nil, fmt.Errorf("env: checkpoint trainer: %w", err)
+	}
+	if trainer.Cfg.StateDim != s.Cfg.StateDim() {
+		return nil, fmt.Errorf("env: checkpoint actor input %d does not match config state dim %d",
+			trainer.Cfg.StateDim, s.Cfg.StateDim())
+	}
+	s.Trainer = trainer
+	s.Replay, err = rl.DecodeReplayBuffer(d)
+	if err != nil {
+		return nil, fmt.Errorf("env: checkpoint replay: %w", err)
+	}
+	s.Episodes = d.Int()
+	s.RewardHistory = d.Float64s()
+	s.RngHi, s.RngLo = d.Uint64(), d.Uint64()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	if s.Episodes < 0 || len(s.RewardHistory) != s.Episodes {
+		return nil, fmt.Errorf("env: checkpoint has %d episodes but %d reward entries",
+			s.Episodes, len(s.RewardHistory))
+	}
+	return s, nil
+}
+
 // SaveCheckpoint writes the learner's complete state to path atomically:
 // the file either keeps its previous contents or holds the new checkpoint,
 // even across kill -9. Telemetry (ckpt_last_write_seconds,
@@ -29,29 +126,13 @@ import (
 func (l *Learner) SaveCheckpoint(path string) error {
 	start := time.Now()
 	e := &ckpt.Encoder{}
-	cfgJSON, err := json.Marshal(l.Cfg)
-	if err != nil {
-		return fmt.Errorf("env: marshal config: %w", err)
-	}
-	distJSON, err := json.Marshal(l.Dist)
-	if err != nil {
-		return fmt.Errorf("env: marshal training distribution: %w", err)
-	}
-	e.Bytes(cfgJSON)
-	e.Bytes(distJSON)
-	// The reward-strategy identity is recorded explicitly (not only inside
-	// the config JSON) so LoadLearner can refuse a strategy mismatch with a
-	// first-class error before any training state is interpreted: a learner
-	// trained under one objective must never silently resume under another.
-	e.Bytes([]byte(l.Cfg.RewardName()))
-	l.Trainer.Encode(e)
-	l.Replay.Encode(e)
-	e.Int(l.Episodes)
-	e.Float64s(l.RewardHistory)
 	hi, lo := l.rng.State()
-	e.Uint64(hi)
-	e.Uint64(lo)
-
+	if err := encodeLearnerState(e, &learnerState{
+		Cfg: l.Cfg, Dist: l.Dist, Trainer: l.Trainer, Replay: l.Replay,
+		Episodes: l.Episodes, RewardHistory: l.RewardHistory, RngHi: hi, RngLo: lo,
+	}); err != nil {
+		return err
+	}
 	n, err := ckpt.WriteFile(path, e.Payload())
 	if err != nil {
 		return err
@@ -63,68 +144,25 @@ func (l *Learner) SaveCheckpoint(path string) error {
 
 // LoadLearner restores a learner from a checkpoint written by
 // SaveCheckpoint. A truncated or corrupted file is rejected outright (CRC
-// validation happens before any field is decoded); a structurally invalid
-// payload fails with a field-level error rather than loading partial state.
+// validation happens before any field is decoded).
 func LoadLearner(path string) (*Learner, error) {
 	payload, err := ckpt.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	d := ckpt.NewDecoder(payload)
-	cfgJSON := d.Bytes()
-	distJSON := d.Bytes()
-	strategyName := string(d.Bytes())
-	if err := d.Err(); err != nil {
+	s, err := decodeLearnerState(payload)
+	if err != nil {
 		return nil, err
-	}
-	var cfg core.Config
-	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, fmt.Errorf("env: checkpoint config: %w", err)
-	}
-	var dist TrainingDistribution
-	if err := json.Unmarshal(distJSON, &dist); err != nil {
-		return nil, fmt.Errorf("env: checkpoint training distribution: %w", err)
-	}
-	// Strategy identity: the recorded name must resolve to a registered
-	// strategy and agree with the config it rode in with. Either failure is
-	// a refusal, not a fallback — resuming under a different objective
-	// would silently re-point the critic at a different reward surface.
-	if _, err := core.NewRewardStrategy(strategyName); err != nil {
-		return nil, fmt.Errorf("env: checkpoint reward strategy: %w", err)
-	}
-	if got := cfg.RewardName(); got != strategyName {
-		return nil, fmt.Errorf("env: checkpoint trained under reward strategy %q but its config says %q — refusing to resume",
-			strategyName, got)
-	}
-	trainer, err := rl.DecodeTrainer(d)
-	if err != nil {
-		return nil, fmt.Errorf("env: checkpoint trainer: %w", err)
-	}
-	if trainer.Cfg.StateDim != cfg.StateDim() {
-		return nil, fmt.Errorf("env: checkpoint actor input %d does not match config state dim %d",
-			trainer.Cfg.StateDim, cfg.StateDim())
-	}
-	replay, err := rl.DecodeReplayBuffer(d)
-	if err != nil {
-		return nil, fmt.Errorf("env: checkpoint replay: %w", err)
 	}
 	l := &Learner{
-		Cfg:     cfg,
-		Dist:    dist,
-		Trainer: trainer,
-		Replay:  replay,
-		rng:     rng.New(0),
+		Cfg:           s.Cfg,
+		Dist:          s.Dist,
+		Trainer:       s.Trainer,
+		Replay:        s.Replay,
+		rng:           rng.New(0),
+		Episodes:      s.Episodes,
+		RewardHistory: s.RewardHistory,
 	}
-	l.Episodes = d.Int()
-	l.RewardHistory = d.Float64s()
-	hi, lo := d.Uint64(), d.Uint64()
-	l.rng.SetState(hi, lo)
-	if err := d.Finish(); err != nil {
-		return nil, err
-	}
-	if l.Episodes < 0 || len(l.RewardHistory) != l.Episodes {
-		return nil, fmt.Errorf("env: checkpoint has %d episodes but %d reward entries",
-			l.Episodes, len(l.RewardHistory))
-	}
+	l.rng.SetState(s.RngHi, s.RngLo)
 	return l, nil
 }

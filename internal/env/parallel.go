@@ -2,7 +2,10 @@ package env
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/rl"
 	"repro/internal/rng"
@@ -24,9 +27,23 @@ type ParallelLearner struct {
 
 	rng *rng.Rand
 
+	// AfterEpisode, when set, is invoked by the learner goroutine inside
+	// Train after each episode's update steps complete, with the total
+	// episode count. It runs on the goroutine that owns the networks, so it
+	// may call SnapshotActor, SaveCheckpoint, and Stop safely — this is the
+	// pilot's cadence hook for checkpointing and candidate export. Keep it
+	// fast: workers idle while it runs.
+	AfterEpisode func(episodes int)
+
+	// stopped makes Train return early (after draining episodes already
+	// dispatched) — set by Stop from any goroutine.
+	stopped atomic.Bool
+
 	// Telemetry instruments; nil (no-op) unless Instrument was called.
 	mEpisodes *telemetry.Counter
 	mReward   *telemetry.Gauge
+	mCkptSecs *telemetry.Gauge
+	mCkptByte *telemetry.Counter
 
 	// Episodes counts completed episodes (completion order); RewardHistory
 	// records each episode's average reward for convergence inspection.
@@ -41,27 +58,40 @@ type ParallelLearner struct {
 func (p *ParallelLearner) Instrument(reg *telemetry.Registry) {
 	p.mEpisodes = reg.Counter("env_episodes_total", "training episodes completed")
 	p.mReward = reg.Gauge("env_episode_reward", "average reward of the latest episode")
+	p.mCkptSecs = reg.Gauge("ckpt_last_write_seconds", "wall time of the latest checkpoint write")
+	p.mCkptByte = reg.Counter("ckpt_bytes_written_total", "bytes of checkpoint data written")
 	p.Trainer.Instrument(reg)
 }
+
+// StrategyName reports the reward strategy this learner trains under.
+func (p *ParallelLearner) StrategyName() string { return p.Cfg.RewardName() }
 
 // NewParallelLearner builds the learner with the given worker count
 // (minimum 1). As with NewLearner, cfg.Reward must name a registered
 // reward strategy; unknown names panic at construction.
 func NewParallelLearner(cfg core.Config, dist TrainingDistribution, seed int64, workers int) *ParallelLearner {
-	core.MustRewardStrategy(cfg.Reward)
-	if workers < 1 {
-		workers = 1
-	}
 	rlCfg := rl.DefaultConfig(cfg.StateDim(), core.GlobalFeatureDim, 1)
 	rlCfg.Gamma = cfg.Gamma
 	rlCfg.ActorLR = cfg.LearningRate
 	rlCfg.CriticLR = cfg.LearningRate
 	rlCfg.Batch = cfg.BatchSize
+	return NewParallelLearnerRL(cfg, dist, rlCfg, 200000, seed, workers)
+}
+
+// NewParallelLearnerRL is NewParallelLearner with the TD3 configuration and
+// replay capacity exposed: the pilot's smoke tests (and any short-budget
+// experiment) need networks far smaller than the paper's 256/128/64
+// default to converge on anything inside a CI time box.
+func NewParallelLearnerRL(cfg core.Config, dist TrainingDistribution, rlCfg rl.Config, replayCap int, seed int64, workers int) *ParallelLearner {
+	core.MustRewardStrategy(cfg.Reward)
+	if workers < 1 {
+		workers = 1
+	}
 	return &ParallelLearner{
 		Cfg:     cfg,
 		Dist:    dist,
 		Trainer: rl.NewTrainer(rlCfg, rng.Fold(seed, streamTrainer)),
-		Replay:  rl.NewReplayBuffer(200000),
+		Replay:  rl.NewReplayBuffer(replayCap),
 		Workers: workers,
 		rng:     rng.New(rng.Fold(seed, streamEpisode)),
 	}
@@ -116,10 +146,11 @@ func (p *ParallelLearner) Train(episodes int) []float64 {
 		}
 	}
 
-	// Prime one job per worker, then refill as outcomes come back.
+	// Prime one job per worker, then refill as outcomes come back. A
+	// learner that was stopped (and not reset) dispatches nothing.
 	outstanding := 0
 	dispatched := 0
-	for ; dispatched < p.Workers && dispatched < episodes; dispatched++ {
+	for ; dispatched < p.Workers && dispatched < episodes && !p.stopped.Load(); dispatched++ {
 		jobs <- dispatch()
 		outstanding++
 	}
@@ -142,7 +173,10 @@ func (p *ParallelLearner) Train(episodes int) []float64 {
 				p.Trainer.Update(p.Replay)
 			}
 		}
-		if dispatched < episodes {
+		if p.AfterEpisode != nil {
+			p.AfterEpisode(p.Episodes)
+		}
+		if dispatched < episodes && !p.stopped.Load() {
 			jobs <- dispatch()
 			dispatched++
 			outstanding++
@@ -151,6 +185,76 @@ func (p *ParallelLearner) Train(episodes int) []float64 {
 	close(jobs)
 	wg.Wait()
 	return p.RewardHistory
+}
+
+// Stop makes the current (or next) Train call return early: no new episodes
+// are dispatched, episodes already running drain normally and still feed
+// the replay buffer and update schedule. Safe from any goroutine, including
+// the AfterEpisode hook itself. Stop is sticky until ResetStop.
+func (p *ParallelLearner) Stop() { p.stopped.Store(true) }
+
+// ResetStop clears a previous Stop so Train can be called again.
+func (p *ParallelLearner) ResetStop() { p.stopped.Store(false) }
+
+// SnapshotActor clones the current actor into a standalone deployable
+// policy — the candidate the pilot hands to the regression gate. It must
+// only be called from the goroutine that owns the networks: outside Train,
+// or inside the AfterEpisode hook.
+func (p *ParallelLearner) SnapshotActor() *core.MLPPolicy {
+	return &core.MLPPolicy{Net: p.Trainer.Actor.Clone()}
+}
+
+// SaveCheckpoint writes the learner's state to path atomically, in the same
+// on-disk format as Learner.SaveCheckpoint — either learner kind can resume
+// from it. Unlike the serial learner's guarantee, a resumed parallel run
+// continues the trajectory statistically, not bitwise: episode completion
+// order is scheduling-dependent. Must be called from the owning goroutine
+// (outside Train, or inside AfterEpisode).
+func (p *ParallelLearner) SaveCheckpoint(path string) error {
+	start := time.Now()
+	e := &ckpt.Encoder{}
+	hi, lo := p.rng.State()
+	if err := encodeLearnerState(e, &learnerState{
+		Cfg: p.Cfg, Dist: p.Dist, Trainer: p.Trainer, Replay: p.Replay,
+		Episodes: p.Episodes, RewardHistory: p.RewardHistory, RngHi: hi, RngLo: lo,
+	}); err != nil {
+		return err
+	}
+	n, err := ckpt.WriteFile(path, e.Payload())
+	if err != nil {
+		return err
+	}
+	p.mCkptSecs.Set(time.Since(start).Seconds())
+	p.mCkptByte.Add(int64(n))
+	return nil
+}
+
+// LoadParallelLearner restores a parallel learner from a checkpoint written
+// by either learner kind's SaveCheckpoint.
+func LoadParallelLearner(path string, workers int) (*ParallelLearner, error) {
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeLearnerState(payload)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ParallelLearner{
+		Cfg:           s.Cfg,
+		Dist:          s.Dist,
+		Trainer:       s.Trainer,
+		Replay:        s.Replay,
+		Workers:       workers,
+		rng:           rng.New(0),
+		Episodes:      s.Episodes,
+		RewardHistory: s.RewardHistory,
+	}
+	p.rng.SetState(s.RngHi, s.RngLo)
+	return p, nil
 }
 
 // durationOr reports the episode's duration with a fallback for results

@@ -1,0 +1,70 @@
+// Post-promotion health: the last line of defense after the regression
+// gate. The gate judges a candidate in simulation; the probation watch
+// judges it in the serving fleet, on the live request stream. The signal is
+// the server's own degradation telemetry — fallback answers (which include
+// deadline misses and load shedding) as a fraction of requests served. A
+// policy that makes the fleet miss deadlines shows up here within one
+// probation window and is rolled back without human intervention.
+
+package pilot
+
+import "fmt"
+
+// HealthSample is a point-in-time reading of the serving fleet's
+// degradation counters. Samples are cumulative (monotonic counters);
+// judgments are made on deltas between samples.
+type HealthSample struct {
+	// Requests is serve_requests_total.
+	Requests int64
+	// Fallbacks is serve_fallback_total: every request answered by the
+	// fallback law instead of the policy — deadline misses and shed
+	// requests both land here.
+	Fallbacks int64
+	// DeadlineMisses is serve_deadline_miss_total, the subset of Fallbacks
+	// where the policy was too slow rather than the queue too full.
+	DeadlineMisses int64
+}
+
+// HealthPolicy is the probation rule applied after every promotion.
+type HealthPolicy struct {
+	// Probation is how long the new generation is watched after promotion.
+	ProbationSeconds float64 `json:"probation_seconds"`
+	// IntervalSeconds is the sampling period within probation.
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// MinRequests is the smallest request delta a judgment needs: below
+	// it the window is inconclusive and probation continues. Guards
+	// against declaring an idle fleet healthy or one unlucky request
+	// unhealthy.
+	MinRequests int64 `json:"min_requests"`
+	// MaxDegradedRate is the rollback trigger: fallback answers as a
+	// fraction of requests over the window. Deadline misses are a subset
+	// of fallbacks, so a single ratio bounds both.
+	MaxDegradedRate float64 `json:"max_degraded_rate"`
+}
+
+// DefaultHealthPolicy watches for 5 seconds, sampling every 500ms, and
+// rolls back when more than 20% of requests (across at least 50) were
+// answered by the fallback law.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{ProbationSeconds: 5, IntervalSeconds: 0.5, MinRequests: 50, MaxDegradedRate: 0.20}
+}
+
+// Regressed judges the window between two samples: true when the fleet
+// served enough requests to judge and too many of them degraded. Pure —
+// the supervisor's rollback decision is this one function, so the exact
+// boundary is unit-testable without a fleet.
+func (hp HealthPolicy) Regressed(before, after HealthSample) bool {
+	requests := after.Requests - before.Requests
+	if requests < hp.MinRequests || requests <= 0 {
+		return false // inconclusive window
+	}
+	degraded := after.Fallbacks - before.Fallbacks
+	return float64(degraded)/float64(requests) > hp.MaxDegradedRate
+}
+
+func (hp HealthPolicy) validate() error {
+	if hp.ProbationSeconds < 0 || hp.IntervalSeconds < 0 || hp.MaxDegradedRate < 0 {
+		return fmt.Errorf("pilot: negative health policy field: %+v", hp)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package pilot
+
+import "testing"
+
+// TestHealthRegressedBoundary pins the rollback trigger arithmetic: the
+// rate comparison is strict (exactly MaxDegradedRate is healthy), windows
+// below MinRequests are inconclusive, and deadline misses ride inside the
+// fallback count rather than double-counting.
+func TestHealthRegressedBoundary(t *testing.T) {
+	hp := HealthPolicy{ProbationSeconds: 5, IntervalSeconds: 0.5, MinRequests: 100, MaxDegradedRate: 0.20}
+	base := HealthSample{Requests: 1000, Fallbacks: 10, DeadlineMisses: 5}
+	cases := []struct {
+		name string
+		req  int64 // delta requests
+		fb   int64 // delta fallbacks
+		want bool
+	}{
+		{"healthy", 500, 10, false},
+		{"exactly at rate", 500, 100, false}, // 0.20 is not > 0.20
+		{"one over", 500, 101, true},
+		{"all degraded", 200, 200, true},
+		{"below min requests", 99, 99, false}, // inconclusive, even at 100%
+		{"at min requests all degraded", 100, 100, true},
+		{"idle window", 0, 0, false},
+	}
+	for _, tc := range cases {
+		after := HealthSample{
+			Requests:  base.Requests + tc.req,
+			Fallbacks: base.Fallbacks + tc.fb,
+		}
+		if got := hp.Regressed(base, after); got != tc.want {
+			t.Errorf("%s: Regressed = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// A counter that appears to move backwards (server restart) is
+	// inconclusive, never a rollback.
+	if hp.Regressed(base, HealthSample{Requests: 10, Fallbacks: 10}) {
+		t.Error("counter reset judged as regression")
+	}
+}
+
+// TestParsePrometheus: the scrape parser reads unlabeled counters and
+// gauges, skipping comments, histograms' labeled buckets, and garbage.
+func TestParsePrometheus(t *testing.T) {
+	text := `# HELP serve_requests_total requests read off the wire
+# TYPE serve_requests_total counter
+serve_requests_total 12345
+serve_policy_generation 7
+serve_e2e_latency_seconds_bucket{le="0.001"} 42
+serve_e2e_latency_seconds_sum 1.5
+not a sample line
+bad_value abc
+`
+	vals := parsePrometheus(text)
+	if vals["serve_requests_total"] != 12345 {
+		t.Fatalf("requests = %v", vals["serve_requests_total"])
+	}
+	if vals["serve_policy_generation"] != 7 {
+		t.Fatalf("generation = %v", vals["serve_policy_generation"])
+	}
+	if _, ok := vals["serve_e2e_latency_seconds_bucket"]; ok {
+		t.Fatal("labeled series parsed")
+	}
+	if vals["serve_e2e_latency_seconds_sum"] != 1.5 {
+		t.Fatalf("sum = %v", vals["serve_e2e_latency_seconds_sum"])
+	}
+	if _, ok := vals["bad_value"]; ok {
+		t.Fatal("unparseable value kept")
+	}
+}

@@ -1,0 +1,226 @@
+// The generation store: the pilot's on-disk record of every policy it has
+// promoted. Each promotion seals the candidate actor into an immutable
+// artifact file (core.SaveSealedPolicy — CRC-guarded, atomic) named by its
+// generation number, and a manifest records the lineage: which generation
+// is serving, which one it descended from, and which ones were rolled
+// back. Rollback is therefore instant and needs no trainer state: the
+// previous sealed artifact is still on disk, pointer-swap the manifest and
+// re-promote the file. History is bounded — pruning keeps the newest K
+// generations plus the serving one and its parent (the rollback target),
+// so a long-running pilot cannot fill the disk.
+
+package pilot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// Generation statuses recorded in the manifest.
+const (
+	// StatusServing marks the generation the manifest points at.
+	StatusServing = "serving"
+	// StatusSuperseded marks a generation replaced by a newer promotion.
+	StatusSuperseded = "superseded"
+	// StatusRolledBack marks a generation evicted by a health regression;
+	// the pilot never re-promotes a rolled-back generation.
+	StatusRolledBack = "rolled-back"
+)
+
+// Generation is one sealed promotion in the store's lineage.
+type Generation struct {
+	Gen         uint64 `json:"gen"`
+	Parent      uint64 `json:"parent"` // 0 = promoted over the reference policy
+	File        string `json:"file"`   // artifact basename within the store dir
+	CreatedUnix int64  `json:"created_unix"`
+	Episodes    int    `json:"episodes,omitempty"`
+	Status      string `json:"status"`
+	Note        string `json:"note,omitempty"`
+}
+
+// manifest is the store's durable index, written atomically on every
+// mutation so a crash never leaves the lineage ambiguous.
+type manifest struct {
+	Current     uint64       `json:"current"` // serving generation; 0 = none
+	Next        uint64       `json:"next"`    // next generation number to assign
+	Generations []Generation `json:"generations"`
+}
+
+// Store is the on-disk generation store. Not goroutine-safe: the supervisor
+// goroutine owns it.
+type Store struct {
+	dir  string
+	keep int
+	m    manifest
+}
+
+const manifestName = "manifest.json"
+
+// OpenStore opens (or initializes) the generation store in dir. After each
+// commit, at most keep generations are retained on disk — the serving
+// generation and its parent (the rollback target) are always among the
+// survivors, so keep is effectively floored at 2.
+func OpenStore(dir string, keep int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pilot: store dir: %w", err)
+	}
+	s := &Store{dir: dir, keep: keep, m: manifest{Next: 1}}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pilot: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.m); err != nil {
+		return nil, fmt.Errorf("pilot: parse manifest: %w", err)
+	}
+	if s.m.Next < 1 {
+		s.m.Next = 1
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Generations returns the recorded lineage (ascending generation order).
+func (s *Store) Generations() []Generation {
+	out := append([]Generation(nil), s.m.Generations...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Gen < out[j].Gen })
+	return out
+}
+
+// Current returns the serving generation, or false when nothing has been
+// promoted yet (the fleet is on the boot policy).
+func (s *Store) Current() (Generation, bool) {
+	return s.find(s.m.Current)
+}
+
+func (s *Store) find(gen uint64) (Generation, bool) {
+	if gen == 0 {
+		return Generation{}, false
+	}
+	for _, g := range s.m.Generations {
+		if g.Gen == gen {
+			return g, true
+		}
+	}
+	return Generation{}, false
+}
+
+// Path returns the artifact path for a recorded generation.
+func (s *Store) Path(g Generation) string { return filepath.Join(s.dir, g.File) }
+
+// save writes the manifest atomically.
+func (s *Store) save() error {
+	data, err := json.MarshalIndent(&s.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pilot: marshal manifest: %w", err)
+	}
+	return ckpt.WriteAtomic(filepath.Join(s.dir, manifestName), append(data, '\n'), 0o644)
+}
+
+// setStatus updates one generation's recorded status in place.
+func (s *Store) setStatus(gen uint64, status string) {
+	for i := range s.m.Generations {
+		if s.m.Generations[i].Gen == gen {
+			s.m.Generations[i].Status = status
+		}
+	}
+}
+
+// Commit seals net as the next generation: the artifact is written (atomic,
+// CRC-sealed) before the manifest flips to it, so a crash between the two
+// writes leaves the previous generation serving and an orphan file the next
+// prune collects. meta's Generation/Parent/CreatedUnix are filled by the
+// store; callers supply the provenance fields (Reward, Episodes, Note).
+func (s *Store) Commit(net *nn.MLP, meta core.PolicyMeta, nowUnix int64) (Generation, error) {
+	gen := s.m.Next
+	g := Generation{
+		Gen:         gen,
+		Parent:      s.m.Current,
+		File:        fmt.Sprintf("gen-%08d.policy", gen),
+		CreatedUnix: nowUnix,
+		Episodes:    meta.Episodes,
+		Status:      StatusServing,
+		Note:        meta.Note,
+	}
+	meta.Generation = gen
+	meta.Parent = g.Parent
+	meta.CreatedUnix = nowUnix
+	if err := core.SaveSealedPolicy(s.Path(g), net, meta); err != nil {
+		return Generation{}, err
+	}
+	s.setStatus(s.m.Current, StatusSuperseded)
+	s.m.Generations = append(s.m.Generations, g)
+	s.m.Current = gen
+	s.m.Next = gen + 1
+	s.prune()
+	if err := s.save(); err != nil {
+		return Generation{}, err
+	}
+	return g, nil
+}
+
+// Rollback flips the manifest back to the serving generation's parent and
+// marks the evicted generation rolled-back. Returns the restored
+// generation; ok is false when there is nothing to roll back to (the parent
+// is the pre-pilot boot policy — the caller handles that case by
+// re-promoting its reference artifact or restarting the daemon's boot
+// policy). The evicted artifact file is kept (pruning will collect it) so
+// a post-mortem can inspect what went wrong.
+func (s *Store) Rollback() (Generation, bool, error) {
+	cur, ok := s.find(s.m.Current)
+	if !ok {
+		return Generation{}, false, fmt.Errorf("pilot: rollback with no serving generation")
+	}
+	s.setStatus(cur.Gen, StatusRolledBack)
+	parent, ok := s.find(cur.Parent)
+	if !ok {
+		// Rolled back past the first promotion: nothing of ours serves.
+		s.m.Current = 0
+		if err := s.save(); err != nil {
+			return Generation{}, false, err
+		}
+		return Generation{}, false, nil
+	}
+	s.setStatus(parent.Gen, StatusServing)
+	s.m.Current = parent.Gen
+	if err := s.save(); err != nil {
+		return Generation{}, false, err
+	}
+	return parent, true, nil
+}
+
+// prune bounds on-disk history at keep generations, deleting oldest first;
+// the serving generation and its parent (the rollback target) are never
+// deleted regardless of age, so the retained count is max(keep, protected).
+// Pruned artifacts are deleted from disk and dropped from the manifest;
+// deletion failures are ignored (a later prune retries).
+func (s *Store) prune() {
+	if len(s.m.Generations) == 0 {
+		return
+	}
+	cur, _ := s.find(s.m.Current)
+	protected := map[uint64]bool{s.m.Current: true, cur.Parent: true}
+	sorted := s.Generations() // ascending
+	excess := len(sorted) - s.keep
+	kept := s.m.Generations[:0]
+	for _, g := range sorted {
+		if excess > 0 && !protected[g.Gen] {
+			os.Remove(s.Path(g))
+			excess--
+			continue
+		}
+		kept = append(kept, g)
+	}
+	s.m.Generations = kept
+}

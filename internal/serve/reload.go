@@ -11,19 +11,24 @@ import (
 )
 
 // Reloader hot-swaps the served policy from a policy artifact on disk —
-// JSON weights written by core.SavePolicy or a quantized blob written by
-// core.SaveQuantizedPolicy / cmd/astraea-quantize. Reload validates the
-// file against the serving config before swapping (a half-trained or
-// wrong-dimension actor is rejected and the previous policy keeps serving),
-// then bumps the server's version counter. Because both writers are atomic
-// (temp + fsync + rename via internal/ckpt), a watcher can never observe a
-// torn file: every snapshot it picks up is one the trainer finished
-// writing.
+// JSON weights written by core.SavePolicy, a quantized blob written by
+// core.SaveQuantizedPolicy / cmd/astraea-quantize, or a sealed generation
+// artifact written by core.SaveSealedPolicy (the pilot's promotion format).
+// Reload validates the file against the serving config before swapping (a
+// half-trained, truncated, or wrong-dimension candidate is rejected — the
+// previous policy keeps serving and policy_reload_failures_total counts the
+// refusal), then bumps the host's version counter. Because all three writers
+// are atomic (temp + fsync + rename via internal/ckpt), a watcher can never
+// observe a torn file: every snapshot it picks up is one the trainer
+// finished writing. Direct writes by anything else can still tear, which is
+// exactly what the failure counter makes loudly observable.
 //
 // Two triggers share the same Reload path: an explicit call (the serve
 // daemon wires SIGHUP to it) and the mtime/size poller started by Watch.
+// The host is any PolicyHost — the network Server in the daemon, a bare
+// ShardedService in tests and embedded pilots.
 type Reloader struct {
-	srv  *Server
+	host PolicyHost
 	path string
 	cfg  core.Config
 
@@ -38,8 +43,10 @@ type Reloader struct {
 	// -float flag clears it to keep the float oracle path.
 	Quantize bool
 
-	mReloads *telemetry.Counter
-	mErrors  *telemetry.Counter
+	mReloads  *telemetry.Counter
+	mErrors   *telemetry.Counter
+	mFailures *telemetry.Counter
+	gGen      *telemetry.Gauge
 
 	mu       sync.Mutex
 	lastMod  time.Time
@@ -51,11 +58,11 @@ type Reloader struct {
 	done     chan struct{}
 }
 
-// NewReloader builds a reloader for srv serving the policy at path,
+// NewReloader builds a reloader for host serving the policy at path,
 // validated against cfg. Reloads quantize JSON snapshots by default; clear
 // Quantize before the first Reload/Watch to serve float weights as loaded.
-func NewReloader(srv *Server, path string, cfg core.Config) *Reloader {
-	r := &Reloader{srv: srv, path: path, cfg: cfg, Interval: 500 * time.Millisecond,
+func NewReloader(host PolicyHost, path string, cfg core.Config) *Reloader {
+	r := &Reloader{host: host, path: path, cfg: cfg, Interval: 500 * time.Millisecond,
 		Quantize: true,
 		stop:     make(chan struct{}), done: make(chan struct{})}
 	if st, err := os.Stat(path); err == nil {
@@ -70,18 +77,29 @@ func NewReloader(srv *Server, path string, cfg core.Config) *Reloader {
 func (r *Reloader) Instrument(reg *telemetry.Registry) {
 	r.mReloads = reg.Counter("serve_reloads_total", "successful policy hot reloads")
 	r.mErrors = reg.Counter("serve_reload_errors_total", "rejected policy reloads (unreadable or invalid weights)")
+	r.mFailures = reg.Counter("policy_reload_failures_total",
+		"policy reload attempts that left the previous version serving (corrupt, truncated, or invalid candidate)")
+	r.gGen = reg.Gauge("serve_policy_generation",
+		"pilot generation of the served policy (sealed artifacts only; 0 before the first promotion)")
 }
 
-// Reload loads and validates the policy artifact (JSON weights or a
-// quantized blob, sniffed by format) and swaps it in, returning the new
-// policy version. On error the served policy is unchanged.
+// Reload loads and validates the policy artifact (JSON weights, a quantized
+// blob, or a sealed generation artifact — sniffed by format) and swaps it
+// in, returning the new policy version. On error the served policy is
+// unchanged: the failure is counted on both serve_reload_errors_total and
+// policy_reload_failures_total and the version counter does not move, so a
+// corrupt candidate is loudly observable without any service interruption.
 func (r *Reloader) Reload() (uint32, error) {
-	p, err := core.LoadServingPolicy(r.path, r.cfg, r.Quantize)
+	p, meta, err := core.LoadServingPolicyMeta(r.path, r.cfg, r.Quantize)
 	if err != nil {
 		r.mErrors.Inc()
-		return r.srv.PolicyVersion(), fmt.Errorf("serve: reload %s: %w", r.path, err)
+		r.mFailures.Inc()
+		return r.host.PolicyVersion(), fmt.Errorf("serve: reload %s: %w", r.path, err)
 	}
-	v := r.srv.SetPolicy(p)
+	v := r.host.SetPolicy(p)
+	if meta != nil {
+		r.gGen.Set(float64(meta.Generation))
+	}
 	r.mReloads.Inc()
 	return v, nil
 }

@@ -153,8 +153,6 @@ type Server struct {
 	fallback *core.ReferencePolicy
 	opts     Options
 
-	version atomic.Uint32
-
 	sweeps  []chan *servedReq
 	dirty   []dirtySet
 	sweepWG sync.WaitGroup
@@ -199,7 +197,6 @@ func NewServer(svc *core.Service, cfg core.Config, opts Options) *Server {
 		opts:     opts.withDefaults(),
 		conns:    make(map[*streamConn]struct{}),
 	}
-	s.version.Store(1)
 	s.sharded = NewShardedService(svc, cfg, s.opts.Shards)
 	n := s.sharded.NumShards()
 	s.sweeps = make([]chan *servedReq, n)
@@ -233,7 +230,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.mConns = reg.Counter("serve_conns_total", "stream connections accepted")
 	s.gConns = reg.Gauge("serve_conns_active", "open stream connections")
 	s.gVersion = reg.Gauge("serve_policy_version", "version counter of the served policy")
-	s.gVersion.Set(float64(s.version.Load()))
+	s.gVersion.Set(float64(s.sharded.PolicyVersion()))
 	reg.Gauge("serve_shards", "policy shards serving").Set(float64(s.sharded.NumShards()))
 	s.hLatency = reg.Histogram("serve_e2e_latency_seconds", "wire-to-wire request latency",
 		telemetry.ExponentialBuckets(1e-5, 4, 12)) // 10 µs .. 42 s
@@ -248,20 +245,19 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 }
 
 // SetPolicy swaps the served policy on every shard (cloned per shard so no
-// two evaluators share scratch state) and then bumps the single global
-// version counter — one atomic event for the whole fleet. In-flight batches
-// keep the policy they were detached with, so no request is dropped or
-// errored by a swap; responses are stamped with the counter value at write
-// time, so the version a connection observes is monotonic.
+// two evaluators share scratch state); the underlying ShardedService bumps
+// the single global version counter — one atomic event for the whole fleet.
+// In-flight batches keep the policy they were detached with, so no request
+// is dropped or errored by a swap; responses are stamped with the counter
+// value at write time, so the version a connection observes is monotonic.
 func (s *Server) SetPolicy(p core.Policy) uint32 {
-	s.sharded.SetPolicy(p)
-	v := s.version.Add(1)
+	v := s.sharded.SetPolicy(p)
 	s.gVersion.Set(float64(v))
 	return v
 }
 
 // PolicyVersion returns the current policy version counter.
-func (s *Server) PolicyVersion() uint32 { return s.version.Load() }
+func (s *Server) PolicyVersion() uint32 { return s.sharded.PolicyVersion() }
 
 // Listen opens one serving endpoint and starts its I/O loop. Stream
 // networks (tcp, tcp4, tcp6, unix) use length-prefixed framing; datagram
@@ -532,7 +528,7 @@ func (s *Server) reply(r *servedReq, action float64, flags uint32, coalesce bool
 		s.writeStream(r.sc, r.shard, r.reqID, action, flags, coalesce)
 	} else {
 		var buf [servedResponseSize]byte
-		payload := appendServedResponse(buf[:0], r.reqID, action, flags, s.version.Load())
+		payload := appendServedResponse(buf[:0], r.reqID, action, flags, s.sharded.PolicyVersion())
 		if _, err := r.pc.WriteTo(payload, r.from); err != nil {
 			s.mWriteErr.Inc()
 		}
@@ -553,7 +549,7 @@ func (s *Server) writeStream(sc *streamConn, shardIdx int, reqID uint64, action 
 		sc.wmu.Unlock()
 		return
 	}
-	sc.wbuf = appendServedFrame(sc.wbuf, reqID, action, flags, s.version.Load())
+	sc.wbuf = appendServedFrame(sc.wbuf, reqID, action, flags, s.sharded.PolicyVersion())
 	if !coalesce || len(sc.wbuf) >= flushThreshold {
 		s.flushConnLocked(sc)
 		sc.wmu.Unlock()

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/telemetry"
 )
@@ -14,11 +16,13 @@ import (
 // concurrently.
 //
 // The shard count is fixed at construction. Policy swaps go through
-// SetPolicy, which re-clones into every shard; the caller (Server) owns the
-// single globally monotonic version counter that makes the swap observable
-// as one atomic event.
+// SetPolicy, which re-clones into every shard and bumps the single globally
+// monotonic version counter that makes the swap observable as one atomic
+// event — ShardedService owns that counter, so it satisfies PolicyHost on
+// its own and Server merely delegates.
 type ShardedService struct {
-	shards []*core.Service
+	shards  []*core.Service
+	version atomic.Uint32
 }
 
 // NewShardedService builds n shards around template: template itself is
@@ -29,6 +33,7 @@ func NewShardedService(template *core.Service, cfg core.Config, n int) *ShardedS
 		n = 1
 	}
 	ss := &ShardedService{shards: make([]*core.Service, n)}
+	ss.version.Store(1)
 	ss.shards[0] = template
 	for i := 1; i < n; i++ {
 		svc := core.NewService(cfg, core.ClonePolicy(template.Policy()))
@@ -66,15 +71,21 @@ func mix64(x uint64) uint64 {
 }
 
 // SetPolicy swaps the policy on every shard, cloning per shard so no two
-// evaluators share scratch state. Batches already detached keep the policy
-// they were detached with (the core.Service guarantee), so no in-flight
-// request is dropped or split by the swap.
-func (ss *ShardedService) SetPolicy(p core.Policy) {
+// evaluators share scratch state, then bumps and returns the global version
+// counter. Batches already detached keep the policy they were detached with
+// (the core.Service guarantee), so no in-flight request is dropped or split
+// by the swap.
+func (ss *ShardedService) SetPolicy(p core.Policy) uint32 {
 	ss.shards[0].SetPolicy(p)
 	for _, svc := range ss.shards[1:] {
 		svc.SetPolicy(core.ClonePolicy(p))
 	}
+	return ss.version.Add(1)
 }
+
+// PolicyVersion returns the current policy version counter. The counter
+// starts at 1 and increments on every SetPolicy.
+func (ss *ShardedService) PolicyVersion() uint32 { return ss.version.Load() }
 
 // Instrument registers the batching telemetry once (on shard 0) and shares
 // the instruments with every other shard, so the metrics aggregate across

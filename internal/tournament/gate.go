@@ -1,0 +1,220 @@
+// The promotion regression gate. Before the closed-loop pilot promotes a
+// freshly trained candidate actor into the serving fleet, the candidate and
+// the incumbent each run the same fixed scenario suite — identical
+// topologies, seeds, and flow schedules, exactly like two tournament
+// entries — and the candidate must clear relative floors on the three
+// Astraea objective axes (utilization, Jain fairness, delay) plus optional
+// absolute minimums. A candidate that regresses the fleet is refused; the
+// incumbent keeps serving and training continues.
+
+package tournament
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// GateFloors are the pass thresholds. Ratios compare the candidate's suite
+// means against the incumbent's; absolute floors bind regardless of the
+// incumbent. Comparisons are inclusive: a candidate exactly on a floor
+// passes it.
+type GateFloors struct {
+	// UtilRatio: candidate mean utilization must be >= UtilRatio × the
+	// incumbent's. <=0 disables the check.
+	UtilRatio float64 `json:"util_ratio"`
+	// JainRatio: candidate mean Jain index must be >= JainRatio × the
+	// incumbent's. <=0 disables.
+	JainRatio float64 `json:"jain_ratio"`
+	// RTTRatio: candidate mean RTT must be <= RTTRatio × the incumbent's
+	// (ceiling: values >1 allow some delay regression). <=0 disables.
+	RTTRatio float64 `json:"rtt_ratio"`
+	// MinUtil and MinJain are absolute floors on the candidate's suite
+	// means, independent of the incumbent. 0 disables.
+	MinUtil float64 `json:"min_util"`
+	MinJain float64 `json:"min_jain"`
+}
+
+// DefaultGateFloors tolerates a 5% utilization or fairness giveback and a
+// 10% delay regression — wide enough to absorb scenario-suite noise, tight
+// enough that a genuinely worse policy is refused.
+func DefaultGateFloors() GateFloors {
+	return GateFloors{UtilRatio: 0.95, JainRatio: 0.95, RTTRatio: 1.10}
+}
+
+// GateConfig parameterizes one gate evaluation. The zero value selects all
+// families, 8 flows, 5-second scenarios, and DefaultGateFloors.
+type GateConfig struct {
+	// Families of the fixed suite; empty means all (FamilyNames order).
+	Families []string
+	// Flows per scenario (default 8).
+	Flows int
+	// Duration of each scenario in seconds (default 5).
+	Duration float64
+	// Seed offsets every family's scenario seed; candidate and incumbent
+	// always face the identical draw.
+	Seed int64
+	// Workers for the batch pool (<=0 selects GOMAXPROCS). Reports are
+	// byte-identical for any worker count.
+	Workers int
+	// Floors to clear; the zero value selects DefaultGateFloors.
+	Floors GateFloors
+}
+
+// GateSide aggregates one policy's suite: means across family cells.
+type GateSide struct {
+	Utilization float64 `json:"utilization"`
+	Jain        float64 `json:"jain"`
+	AvgRTT      float64 `json:"avg_rtt_seconds"`
+	Score       float64 `json:"score"`
+}
+
+// GateCell pairs the two policies' runs of one family.
+type GateCell struct {
+	Family    string `json:"family"`
+	Candidate Cell   `json:"candidate"`
+	Incumbent Cell   `json:"incumbent"`
+}
+
+// GateReport is one completed gate evaluation.
+type GateReport struct {
+	Cells     []GateCell `json:"cells"`
+	Candidate GateSide   `json:"candidate"`
+	Incumbent GateSide   `json:"incumbent"`
+	Floors    GateFloors `json:"floors"`
+	Pass      bool       `json:"pass"`
+	// Reasons lists every floor the candidate missed (empty on pass).
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (c *GateConfig) normalize() error {
+	if len(c.Families) == 0 {
+		c.Families = FamilyNames()
+	}
+	known := make(map[string]bool, len(families))
+	for _, f := range families {
+		known[f.name] = true
+	}
+	for _, name := range c.Families {
+		if !known[name] {
+			return fmt.Errorf("unknown family %q (have %v)", name, FamilyNames())
+		}
+	}
+	if c.Flows <= 0 {
+		c.Flows = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5
+	}
+	if c.Floors == (GateFloors{}) {
+		c.Floors = DefaultGateFloors()
+	}
+	return nil
+}
+
+// RunGate runs candidate and incumbent through the fixed suite and judges
+// the candidate against the floors. Both policies see identical scenarios;
+// each scenario gets its own policy clone (forward passes share scratch
+// buffers, and batch cells run concurrently).
+func RunGate(candidate, incumbent core.Policy, cfg GateConfig) (*GateReport, error) {
+	if candidate == nil || incumbent == nil {
+		return nil, fmt.Errorf("tournament: gate needs both a candidate and an incumbent policy")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]family, len(families))
+	for _, f := range families {
+		byName[f.name] = f
+	}
+	// The scenario skeleton is scheme-independent (topology, seed, flow
+	// schedule); build it from any registered scheme, then swap every flow's
+	// controller for an agent driving the policy under test. Order:
+	// candidate cells first, then incumbent cells, family-major within each.
+	skeleton := Config{Flows: cfg.Flows, Duration: cfg.Duration, Seed: cfg.Seed}
+	var scenarios []runner.Scenario
+	var baseRTTs []float64
+	for _, p := range []core.Policy{candidate, incumbent} {
+		for fi, famName := range cfg.Families {
+			fam := byName[famName]
+			seed := cfg.Seed + int64(fi)*1000
+			sc := fam.build(skeleton, "cubic", seed)
+			clone := core.ClonePolicy(p)
+			for i := range sc.Flows {
+				sc.Flows[i].Scheme = ""
+				sc.Flows[i].CC = core.NewAgent(core.DefaultConfig(), clone)
+			}
+			scenarios = append(scenarios, sc)
+			baseRTTs = append(baseRTTs, sc.BaseRTT)
+		}
+	}
+
+	results, err := runner.RunBatch(scenarios, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(cfg.Families)
+	rep := &GateReport{Floors: cfg.Floors}
+	for fi, famName := range cfg.Families {
+		cand := scoreResult(results[fi], "candidate", famName, baseRTTs[fi])
+		inc := scoreResult(results[n+fi], "incumbent", famName, baseRTTs[n+fi])
+		rep.Cells = append(rep.Cells, GateCell{Family: famName, Candidate: cand, Incumbent: inc})
+		rep.Candidate.add(cand)
+		rep.Incumbent.add(inc)
+	}
+	rep.Candidate.scale(1 / float64(n))
+	rep.Incumbent.scale(1 / float64(n))
+	rep.Pass, rep.Reasons = cfg.Floors.Evaluate(rep.Candidate, rep.Incumbent)
+	return rep, nil
+}
+
+func (s *GateSide) add(c Cell) {
+	s.Utilization += c.Utilization
+	s.Jain += c.Jain
+	s.AvgRTT += c.AvgRTT
+	s.Score += c.Score
+}
+
+func (s *GateSide) scale(k float64) {
+	s.Utilization *= k
+	s.Jain *= k
+	s.AvgRTT *= k
+	s.Score *= k
+}
+
+// Evaluate judges a candidate's suite means against an incumbent's. All
+// comparisons are inclusive (a candidate exactly on a floor passes), and
+// every missed floor is reported, not just the first. The RTT ceiling is
+// skipped when the incumbent recorded no RTT at all (nothing to regress
+// against); an RTT-less candidate against an RTT-ful incumbent fails — a
+// policy that acked nothing must never promote.
+func (f GateFloors) Evaluate(cand, inc GateSide) (bool, []string) {
+	var reasons []string
+	if f.UtilRatio > 0 && cand.Utilization < f.UtilRatio*inc.Utilization {
+		reasons = append(reasons, fmt.Sprintf("utilization %.4f below %.2f× incumbent %.4f",
+			cand.Utilization, f.UtilRatio, inc.Utilization))
+	}
+	if f.JainRatio > 0 && cand.Jain < f.JainRatio*inc.Jain {
+		reasons = append(reasons, fmt.Sprintf("jain %.4f below %.2f× incumbent %.4f",
+			cand.Jain, f.JainRatio, inc.Jain))
+	}
+	if f.RTTRatio > 0 && inc.AvgRTT > 0 {
+		if cand.AvgRTT <= 0 {
+			reasons = append(reasons, "candidate recorded no RTT (no data acked)")
+		} else if cand.AvgRTT > f.RTTRatio*inc.AvgRTT {
+			reasons = append(reasons, fmt.Sprintf("avg RTT %.4fs above %.2f× incumbent %.4fs",
+				cand.AvgRTT, f.RTTRatio, inc.AvgRTT))
+		}
+	}
+	if f.MinUtil > 0 && cand.Utilization < f.MinUtil {
+		reasons = append(reasons, fmt.Sprintf("utilization %.4f below absolute floor %.4f",
+			cand.Utilization, f.MinUtil))
+	}
+	if f.MinJain > 0 && cand.Jain < f.MinJain {
+		reasons = append(reasons, fmt.Sprintf("jain %.4f below absolute floor %.4f",
+			cand.Jain, f.MinJain))
+	}
+	return len(reasons) == 0, reasons
+}

@@ -1,0 +1,238 @@
+package tournament
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// --- Pure gate math (GateFloors.Evaluate) ---
+
+// TestGateFloorsExactBoundary: every comparison is inclusive — a candidate
+// sitting exactly on a floor passes it, and an epsilon past the floor fails.
+func TestGateFloorsExactBoundary(t *testing.T) {
+	f := GateFloors{UtilRatio: 0.95, JainRatio: 0.95, RTTRatio: 1.10, MinUtil: 0.5, MinJain: 0.8}
+	inc := GateSide{Utilization: 0.90, Jain: 0.92, AvgRTT: 0.030}
+	const eps = 1e-9
+
+	exact := GateSide{
+		Utilization: 0.95 * inc.Utilization,
+		Jain:        0.95 * inc.Jain,
+		AvgRTT:      1.10 * inc.AvgRTT,
+	}
+	if pass, reasons := f.Evaluate(exact, inc); !pass {
+		t.Fatalf("exact-boundary candidate refused: %v", reasons)
+	}
+
+	// One axis at a time, one epsilon past its floor: exactly one reason.
+	cases := []struct {
+		name string
+		mut  func(*GateSide)
+	}{
+		{"util ratio", func(s *GateSide) { s.Utilization -= eps }},
+		{"jain ratio", func(s *GateSide) { s.Jain -= eps }},
+		{"rtt ceiling", func(s *GateSide) { s.AvgRTT += eps }},
+	}
+	for _, tc := range cases {
+		cand := exact
+		tc.mut(&cand)
+		pass, reasons := f.Evaluate(cand, inc)
+		if pass {
+			t.Errorf("%s: epsilon past the floor passed", tc.name)
+		}
+		if len(reasons) != 1 {
+			t.Errorf("%s: %d reasons, want 1: %v", tc.name, len(reasons), reasons)
+		}
+	}
+
+	// Absolute floors bind even when the incumbent is worse.
+	weakInc := GateSide{Utilization: 0.1, Jain: 0.1, AvgRTT: 0.030}
+	cand := GateSide{Utilization: 0.5, Jain: 0.8, AvgRTT: 0.030}
+	if pass, reasons := f.Evaluate(cand, weakInc); !pass {
+		t.Fatalf("candidate exactly on absolute floors refused: %v", reasons)
+	}
+	cand.Utilization = 0.5 - eps
+	cand.Jain = 0.8 - eps
+	pass, reasons := f.Evaluate(cand, weakInc)
+	if pass || len(reasons) != 2 {
+		t.Fatalf("absolute floors: pass=%v reasons=%v", pass, reasons)
+	}
+}
+
+// TestGateFloorsEdgeCases: disabled checks never fire; an RTT-less
+// incumbent skips the ceiling while an RTT-less candidate fails it; every
+// missed floor is reported, not just the first.
+func TestGateFloorsEdgeCases(t *testing.T) {
+	// All checks disabled: anything passes.
+	if pass, _ := (GateFloors{}).Evaluate(GateSide{}, GateSide{Utilization: 1, Jain: 1, AvgRTT: 0.01}); !pass {
+		t.Fatal("disabled floors refused a candidate")
+	}
+	f := DefaultGateFloors()
+	// Incumbent with no RTT: ceiling skipped, ratios still bind.
+	inc := GateSide{Utilization: 0.9, Jain: 0.9}
+	if pass, reasons := f.Evaluate(GateSide{Utilization: 0.9, Jain: 0.9}, inc); !pass {
+		t.Fatalf("RTT-less incumbent: %v", reasons)
+	}
+	// Candidate with no RTT against a live incumbent: hard refusal.
+	inc.AvgRTT = 0.030
+	if pass, _ := f.Evaluate(GateSide{Utilization: 0.9, Jain: 0.9}, inc); pass {
+		t.Fatal("candidate that acked nothing promoted")
+	}
+	// Everything wrong at once: all three ratio reasons reported.
+	pass, reasons := f.Evaluate(GateSide{Utilization: 0.1, Jain: 0.1, AvgRTT: 1.0}, inc)
+	if pass || len(reasons) != 3 {
+		t.Fatalf("pass=%v reasons=%v", pass, reasons)
+	}
+}
+
+// TestGateMixedCellsAggregation: floors judge suite means, so a candidate
+// can lose one family outright and still promote by winning another —
+// and the report's per-family cells expose exactly which ones it lost.
+func TestGateMixedCellsAggregation(t *testing.T) {
+	rep := &GateReport{Floors: DefaultGateFloors()}
+	add := func(fam string, cand, inc Cell) {
+		rep.Cells = append(rep.Cells, GateCell{Family: fam, Candidate: cand, Incumbent: inc})
+		rep.Candidate.add(cand)
+		rep.Incumbent.add(inc)
+	}
+	// Candidate loses "incast" on every axis but wins "steady" big.
+	add("incast",
+		Cell{Utilization: 0.70, Jain: 0.80, AvgRTT: 0.040},
+		Cell{Utilization: 0.90, Jain: 0.95, AvgRTT: 0.030})
+	add("steady",
+		Cell{Utilization: 0.99, Jain: 0.99, AvgRTT: 0.020},
+		Cell{Utilization: 0.80, Jain: 0.85, AvgRTT: 0.032})
+	rep.Candidate.scale(0.5)
+	rep.Incumbent.scale(0.5)
+	pass, reasons := rep.Floors.Evaluate(rep.Candidate, rep.Incumbent)
+	if !pass {
+		t.Fatalf("mixed win/lose suite should pass on means: %v", reasons)
+	}
+	// Means are the plain averages of the cells.
+	if got, want := rep.Candidate.Utilization, (0.70+0.99)/2; got != want {
+		t.Fatalf("candidate mean util %v, want %v", got, want)
+	}
+	if got, want := rep.Incumbent.AvgRTT, (0.030+0.032)/2; got != want {
+		t.Fatalf("incumbent mean rtt %v, want %v", got, want)
+	}
+
+	// Flip the wins to losses on both families: the suite mean now misses
+	// the floors and the refusal names the axes.
+	rep2 := &GateReport{Floors: DefaultGateFloors()}
+	rep2.Cells = nil
+	lose := Cell{Utilization: 0.40, Jain: 0.50, AvgRTT: 0.080}
+	strong := Cell{Utilization: 0.90, Jain: 0.95, AvgRTT: 0.030}
+	rep2.Candidate.add(lose)
+	rep2.Candidate.add(lose)
+	rep2.Incumbent.add(strong)
+	rep2.Incumbent.add(strong)
+	rep2.Candidate.scale(0.5)
+	rep2.Incumbent.scale(0.5)
+	pass, reasons = rep2.Floors.Evaluate(rep2.Candidate, rep2.Incumbent)
+	if pass || len(reasons) != 3 {
+		t.Fatalf("uniformly worse candidate: pass=%v reasons=%v", pass, reasons)
+	}
+}
+
+// --- End-to-end gate runs ---
+
+func gateActor(t *testing.T, seed int64) *core.MLPPolicy {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	return &core.MLPPolicy{Net: nn.NewMLP(rand.New(rand.NewSource(seed)), nn.ReLU, nn.Tanh,
+		cfg.StateDim(), 8, 1)}
+}
+
+// TestRunGateSelfComparison: a policy gated against itself sees identical
+// suites on both sides, so every floor is met exactly and the gate passes.
+func TestRunGateSelfComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	p := gateActor(t, 11)
+	cfg := GateConfig{Families: []string{"incast", "steady"}, Flows: 3, Duration: 0.4, Seed: 9}
+	rep, err := RunGate(p, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("self-comparison refused: %v", rep.Reasons)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Candidate.Utilization != c.Incumbent.Utilization || c.Candidate.AvgRTT != c.Incumbent.AvgRTT {
+			t.Fatalf("self-comparison cells diverge in %s: %+v vs %+v", c.Family, c.Candidate, c.Incumbent)
+		}
+	}
+	if rep.Candidate != rep.Incumbent {
+		t.Fatalf("suite means diverge: %+v vs %+v", rep.Candidate, rep.Incumbent)
+	}
+	// The report is JSON-serializable (the pilot logs it).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunGateWorkerIndependence: the verdict and every number in the report
+// are byte-identical whether the suite runs serially or across 4 workers —
+// the gate's decision must never depend on scheduling.
+func TestRunGateWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	cand, inc := gateActor(t, 21), gateActor(t, 22)
+	cfg := GateConfig{Families: []string{"incast", "oscillating"}, Flows: 3, Duration: 0.4, Seed: 5}
+	cfg.Workers = 1
+	rep1, err := RunGate(cand, inc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	rep4, err := RunGate(cand, inc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep4) {
+		b1, _ := json.Marshal(rep1)
+		b4, _ := json.Marshal(rep4)
+		t.Fatalf("worker count changed the gate report:\n1: %s\n4: %s", b1, b4)
+	}
+}
+
+// TestRunGateImpossibleFloor: an absolute floor no policy can reach refuses
+// every candidate — the configuration CI uses to force a gate failure.
+func TestRunGateImpossibleFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	p := gateActor(t, 31)
+	cfg := GateConfig{Families: []string{"steady"}, Flows: 3, Duration: 0.4, Seed: 9,
+		Floors: GateFloors{MinJain: 1.5}} // Jain index cannot exceed 1
+	rep, err := RunGate(p, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Reasons) == 0 {
+		t.Fatalf("impossible floor passed: %+v", rep)
+	}
+}
+
+// TestRunGateValidation: nil policies and unknown families are refused.
+func TestRunGateValidation(t *testing.T) {
+	p := gateActor(t, 41)
+	if _, err := RunGate(nil, p, GateConfig{}); err == nil {
+		t.Fatal("nil candidate accepted")
+	}
+	if _, err := RunGate(p, nil, GateConfig{}); err == nil {
+		t.Fatal("nil incumbent accepted")
+	}
+	if _, err := RunGate(p, p, GateConfig{Families: []string{"nope"}}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -291,29 +291,7 @@ func Run(cfg Config) (*Report, error) {
 		Flows: cfg.Flows, Duration: cfg.Duration, Seed: cfg.Seed,
 	}
 	for i, res := range results {
-		cell := Cell{Scheme: jobs[i].scheme, Family: jobs[i].fam, BaseRTT: jobs[i].baseRTT}
-		cell.Utilization = res.Utilization
-		tputs := make([]float64, len(res.Flows))
-		var delivered, lost int64
-		var rttSum float64
-		var rttN int
-		for j, fr := range res.Flows {
-			tputs[j] = fr.AvgTputBps
-			delivered += fr.DeliveredBytes
-			lost += fr.LostBytes
-			if fr.AvgRTT > 0 {
-				rttSum += fr.AvgRTT
-				rttN++
-			}
-		}
-		cell.Jain = metrics.Jain(tputs)
-		if rttN > 0 {
-			cell.AvgRTT = rttSum / float64(rttN)
-		}
-		if tot := delivered + lost; tot > 0 {
-			cell.LossRate = float64(lost) / float64(tot)
-		}
-		cell.Score = score(cell)
+		cell := scoreResult(res, jobs[i].scheme, jobs[i].fam, jobs[i].baseRTT)
 		if ck := checkers[i]; ck != nil {
 			ck.Finish(res)
 			cell.Violations = ck.Total()
@@ -322,6 +300,36 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.rank()
 	return rep, nil
+}
+
+// scoreResult folds one finished scenario into a scored cell — the single
+// metric pipeline shared by the tournament grid and the regression gate, so
+// a policy is judged by exactly the same arithmetic in both.
+func scoreResult(res *runner.Result, scheme, fam string, baseRTT float64) Cell {
+	cell := Cell{Scheme: scheme, Family: fam, BaseRTT: baseRTT}
+	cell.Utilization = res.Utilization
+	tputs := make([]float64, len(res.Flows))
+	var delivered, lost int64
+	var rttSum float64
+	var rttN int
+	for j, fr := range res.Flows {
+		tputs[j] = fr.AvgTputBps
+		delivered += fr.DeliveredBytes
+		lost += fr.LostBytes
+		if fr.AvgRTT > 0 {
+			rttSum += fr.AvgRTT
+			rttN++
+		}
+	}
+	cell.Jain = metrics.Jain(tputs)
+	if rttN > 0 {
+		cell.AvgRTT = rttSum / float64(rttN)
+	}
+	if tot := delivered + lost; tot > 0 {
+		cell.LossRate = float64(lost) / float64(tot)
+	}
+	cell.Score = score(cell)
+	return cell
 }
 
 // score folds a cell into one number: throughput × fairness × delay, the

@@ -100,6 +100,67 @@ grep -q '"outcomes"' "$SMOKE/fairlab.json" || { echo "ci: fairlab.json has no ou
     -actors "lab-maxmin=$SMOKE/fairlab-actors/maxmin.json" -out "" >"$SMOKE/fairtourney.txt"
 grep -Eq '^[12] +lab-maxmin ' "$SMOKE/fairtourney.txt" || { echo "ci: fairlab actor missing from tournament ranking"; cat "$SMOKE/fairtourney.txt"; exit 1; }
 
+# Closed-loop pilot smoke: the full train → gate → promote → serve loop
+# through the real binaries. A race-built astraea-serve watches a weights
+# file; a race-built astraea-pilot trains a short round, gates the candidate
+# against the serving incumbent, and promotes by atomically publishing the
+# sealed generation artifact — confirmed via the daemon's own
+# serve_policy_generation gauge — while astraea-loadgen hammers the fleet
+# and must see zero failed requests and a monotonically advancing policy
+# version. A second pilot run with an impossible gate floor must refuse its
+# candidate and leave the serving file byte-identical.
+go build -race -o "$SMOKE/astraea-pilot" ./cmd/astraea-pilot
+cp "$SMOKE/actor.json" "$SMOKE/serving.policy"
+"$SMOKE/astraea-serve" -listen tcp:127.0.0.1:0 -policy "$SMOKE/serving.policy" -shards 2 \
+    -reload 50ms -telemetry 127.0.0.1:0 -addr-file "$SMOKE/paddr" >"$SMOKE/pserve.log" 2>&1 &
+PSERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/paddr" ] && grep -q "telemetry and pprof" "$SMOKE/pserve.log" && break; sleep 0.1
+done
+[ -s "$SMOKE/paddr" ] || { echo "ci: pilot's astraea-serve never bound"; cat "$SMOKE/pserve.log"; exit 1; }
+PMETRICS=$(sed -n 's#.*telemetry and pprof on \(http://[^/]*\)/.*#\1/metrics#p' "$SMOKE/pserve.log" | head -1)
+[ -n "$PMETRICS" ] || { echo "ci: no telemetry endpoint in serve log"; cat "$SMOKE/pserve.log"; exit 1; }
+"$SMOKE/astraea-loadgen" -addr "$(head -1 "$SMOKE/paddr")" \
+    -rate 500 -duration 12s -flows -out "$SMOKE/pload.json" >"$SMOKE/ploadgen.log" 2>&1 &
+PLOAD_PID=$!
+"$SMOKE/astraea-pilot" -promote "$SMOKE/serving.policy" -serve-metrics "$PMETRICS" \
+    -dir "$SMOKE/gens" -rounds 1 -episodes-per-round 2 -workers 2 -rl-hidden 8,8 \
+    -episode-duration 3 -max-flows 2 \
+    -gate-families steady -gate-flows 3 -gate-duration 0.5 \
+    -gate-util-floor 0.000001 -gate-jain-floor 0.000001 -gate-rtt-ceiling 1000000 \
+    -probation 0.5 -health-interval 0.1 -health-min-requests 10 \
+    -checkpoint "$SMOKE/pilot.ckpt" -checkpoint-every 1 \
+    >"$SMOKE/pilot.log" 2>&1 || { echo "ci: pilot promotion run failed"; cat "$SMOKE/pilot.log"; exit 1; }
+grep -q "promoted generation 2" "$SMOKE/pilot.log" || { echo "ci: pilot did not promote"; cat "$SMOKE/pilot.log"; exit 1; }
+grep -q "serving generation 2" "$SMOKE/pilot.log" || { echo "ci: pilot did not confirm generation 2"; cat "$SMOKE/pilot.log"; exit 1; }
+curl -s "$PMETRICS" | grep -q '^serve_policy_generation 2$' \
+    || { echo "ci: fleet does not report generation 2"; curl -s "$PMETRICS" | grep serve_; exit 1; }
+# Impossible floor: the candidate must be refused and the serving artifact
+# must not move (byte-identical file, fleet still on generation 2).
+cksum "$SMOKE/serving.policy" >"$SMOKE/serving.sum"
+"$SMOKE/astraea-pilot" -promote "$SMOKE/serving.policy" -serve-metrics "$PMETRICS" \
+    -dir "$SMOKE/gens" -rounds 1 -episodes-per-round 2 -workers 2 -rl-hidden 8,8 \
+    -episode-duration 3 -max-flows 2 \
+    -gate-families steady -gate-flows 3 -gate-duration 0.5 -gate-min-jain 1.5 \
+    -probation 0.5 -health-interval 0.1 -health-min-requests 10 \
+    >"$SMOKE/pilot2.log" 2>&1 || { echo "ci: pilot refusal run failed"; cat "$SMOKE/pilot2.log"; exit 1; }
+grep -q "gate refused" "$SMOKE/pilot2.log" || { echo "ci: impossible floor not refused"; cat "$SMOKE/pilot2.log"; exit 1; }
+cksum "$SMOKE/serving.policy" | cmp -s - "$SMOKE/serving.sum" \
+    || { echo "ci: refused candidate moved the serving artifact"; exit 1; }
+curl -s "$PMETRICS" | grep -q '^serve_policy_generation 2$' \
+    || { echo "ci: fleet moved off generation 2 after a refusal"; exit 1; }
+curl -s "$PMETRICS" | grep -q '^policy_reload_failures_total 0$' \
+    || { echo "ci: reload failures during pilot smoke"; curl -s "$PMETRICS" | grep policy_; exit 1; }
+wait "$PLOAD_PID" || { echo "ci: loadgen failed across promotion"; cat "$SMOKE/ploadgen.log"; exit 1; }
+grep -q '"failed": 0' "$SMOKE/pload.json" || { echo "ci: dropped requests across promotion"; cat "$SMOKE/pload.json"; exit 1; }
+grep -q '"max_version": 3' "$SMOKE/pload.json" || { echo "ci: clients never saw the promoted version"; cat "$SMOKE/pload.json"; exit 1; }
+kill -INT "$PSERVE_PID"
+wait "$PSERVE_PID" || { echo "ci: pilot's astraea-serve drain was not clean"; cat "$SMOKE/pserve.log"; exit 1; }
+grep -q "drained after" "$SMOKE/pserve.log" || { echo "ci: no drain line after pilot smoke"; cat "$SMOKE/pserve.log"; exit 1; }
+if grep -q "RACE" "$SMOKE/pserve.log" "$SMOKE/pilot.log" "$SMOKE/pilot2.log"; then
+    echo "ci: race detected in pilot smoke"; exit 1
+fi
+
 # Coverage summary: per-package statement coverage plus the total, so a PR
 # that guts a test file shows up as a number, not a feeling.
 go test -coverprofile="$COVER" ./... >/dev/null
@@ -167,6 +228,10 @@ go test -race -run 'TestIncast500FlowInvariants|TestIncrementalChecker' ./intern
 # point regression (divergent actions, moved fairness/throughput, or a
 # kernel race) is attributable at a glance.
 go test -race -run TestQuantizedClosedLoopEquivalence ./internal/check
+# The closed-loop pilot's acceptance scenarios under the race detector,
+# named: live promotion with monotonic versions and zero drops, gate
+# refusal, and health-triggered automatic rollback.
+go test -race -run 'TestPilot' ./internal/pilot
 # The race pass needs a generous timeout: the experiment suite and the
 # parallel learner run full simulations under the detector's ~10x slowdown.
 go test -race -timeout 60m ./...
